@@ -1,0 +1,220 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§V), plus micro-benchmarks of the kernels the simulation is
+// built from. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each artefact benchmark regenerates the full experiment through
+// internal/experiments — the same code path as cmd/odinsim — so the
+// reported time is the cost of reproducing that artefact from scratch.
+// The artefacts themselves (rows/series) are printed once by the
+// experiment CLI, not here; benchmarks report the regeneration cost.
+package odin
+
+import (
+	"io"
+	"testing"
+
+	"odin/internal/core"
+	"odin/internal/dnn"
+	"odin/internal/experiments"
+	"odin/internal/ou"
+	"odin/internal/reram"
+	"odin/internal/search"
+)
+
+// benchmarkExperiment regenerates one evaluation artefact per iteration.
+func benchmarkExperiment(b *testing.B, id string) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI regenerates Table I (PIM tile specification).
+func BenchmarkTableI(b *testing.B) { benchmarkExperiment(b, "tab1") }
+
+// BenchmarkTableII regenerates Table II (ReRAM crossbar parameters).
+func BenchmarkTableII(b *testing.B) { benchmarkExperiment(b, "tab2") }
+
+// BenchmarkFig3 regenerates the layer-wise OU size / sparsity study
+// (ResNet18, CIFAR-10, t = t₀).
+func BenchmarkFig3(b *testing.B) { benchmarkExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates the OU-size distribution shift under drift.
+func BenchmarkFig4(b *testing.B) { benchmarkExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates the offline vs online (RB/EX) comparison,
+// including two policy bootstraps and the warm-up runs.
+func BenchmarkFig5(b *testing.B) { benchmarkExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates the VGG11 energy/latency comparison over the
+// full 10⁸ s horizon (5 configurations × 1000 decision epochs).
+func BenchmarkFig6(b *testing.B) { benchmarkExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates the accuracy-over-runs study (5 curves).
+func BenchmarkFig7(b *testing.B) { benchmarkExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates the full cross-workload EDP comparison:
+// 9 DNNs × (4 baselines + Odin with leave-one-out bootstrap) × the full
+// horizon. This is the heaviest artefact (~30 s per regeneration).
+func BenchmarkFig8(b *testing.B) { benchmarkExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates the crossbar-size sensitivity study
+// (ResNet34 on 128², 64², 32² arrays).
+func BenchmarkFig9(b *testing.B) { benchmarkExperiment(b, "fig9") }
+
+// BenchmarkOverhead regenerates the §V.E overhead analysis.
+func BenchmarkOverhead(b *testing.B) { benchmarkExperiment(b, "overhead") }
+
+// --- Kernel micro-benchmarks -------------------------------------------
+
+// BenchmarkOUCycleModel measures one OU cycle-count evaluation — the inner
+// loop of every search.
+func BenchmarkOUCycleModel(b *testing.B) {
+	sys := core.DefaultSystem()
+	wl, err := sys.Prepare(dnn.NewVGG11())
+	if err != nil {
+		b.Fatal(err)
+	}
+	work := wl.Works[4]
+	s := ou.Size{R: 16, C: 16}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = work.Cycles(s)
+	}
+}
+
+// BenchmarkCostEvaluate measures a full energy/latency/EDP evaluation of
+// one (layer, OU size) pair.
+func BenchmarkCostEvaluate(b *testing.B) {
+	sys := core.DefaultSystem()
+	wl, err := sys.Prepare(dnn.NewVGG11())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cm := sys.Arch.CostModel()
+	work := wl.Works[4]
+	s := ou.Size{R: 32, C: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = cm.Evaluate(work, s)
+	}
+}
+
+// BenchmarkResourceBoundedSearch measures one RB search (K=3) — the per
+// layer per inference-run online cost of Odin.
+func BenchmarkResourceBoundedSearch(b *testing.B) {
+	sys := core.DefaultSystem()
+	wl, err := sys.Prepare(dnn.NewVGG11())
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := sys.Grid()
+	obj := core.LayerObjective(sys, wl, 4, 1e4)
+	start := grid.SizeAt(2, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = search.ResourceBounded(grid, obj, start, 3)
+	}
+}
+
+// BenchmarkExhaustiveSearch measures one EX search (36 configurations) for
+// the §V.B overhead comparison; compare with BenchmarkResourceBoundedSearch.
+func BenchmarkExhaustiveSearch(b *testing.B) {
+	sys := core.DefaultSystem()
+	wl, err := sys.Prepare(dnn.NewVGG11())
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := sys.Grid()
+	obj := core.LayerObjective(sys, wl, 4, 1e4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = search.Exhaustive(grid, obj)
+	}
+}
+
+// BenchmarkPolicyPredict measures one OU-size prediction — the per-layer
+// runtime cost §V.E quantifies at 0.14 mW / 0.9 % latency.
+func BenchmarkPolicyPredict(b *testing.B) {
+	sys := NewSystem()
+	pol := NewPolicy(sys, 1)
+	f := Features{LayerIndex: 4, LayerCount: 11, Sparsity: 0.6, KernelSize: 3, Time: 1e4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = pol.Predict(f)
+	}
+}
+
+// BenchmarkPolicyUpdate measures one 100-epoch policy update on a full
+// 50-example buffer — the event §V.E prices at 0.22 µJ of accelerator
+// energy.
+func BenchmarkPolicyUpdate(b *testing.B) {
+	sys := NewSystem()
+	grid := sys.Grid()
+	var examples []PolicyExample
+	for i := 0; i < 50; i++ {
+		examples = append(examples, PolicyExample{
+			F: Features{LayerIndex: i % 11, LayerCount: 11,
+				Sparsity: 0.5, KernelSize: 3, Time: float64(i) * 100},
+			Target: grid.SizeAt(i%6, (i+1)%6),
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pol := NewPolicy(sys, uint64(i)+1)
+		if _, err := pol.Train(examples, TrainOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControllerRun measures one full Algorithm 1 inference run on
+// VGG11 (11 layer decisions: predict + RB search + bookkeeping).
+func BenchmarkControllerRun(b *testing.B) {
+	sys := core.DefaultSystem()
+	wl, err := sys.Prepare(dnn.NewVGG11())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := NewPolicy(sys, 1)
+	ctrl, err := core.NewController(sys, wl, pol, core.DefaultControllerOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ctrl.RunInference(float64(i))
+	}
+}
+
+// BenchmarkCrossbarMVM measures the reference non-ideal 128×128 MVM used
+// by the device-level studies.
+func BenchmarkCrossbarMVM(b *testing.B) {
+	xbar := reram.NewCrossbar(128, reram.DefaultDeviceParams())
+	xbar.Program(RandomWeights(128, 128, "bench-mvm"), 0)
+	input := RandomWeights(1, 128, "bench-mvm-in").Row(0)
+	opts := reram.MVMOptions{OURows: 16, OUCols: 16, SimTime: 1e4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = xbar.MVM(input, opts)
+	}
+}
+
+// BenchmarkModelMapping measures placing a full DNN onto the platform's
+// crossbars.
+func BenchmarkModelMapping(b *testing.B) {
+	sys := core.DefaultSystem()
+	model := dnn.NewDenseNet121()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = sys.Arch.MapModel(model)
+	}
+}

@@ -1,0 +1,79 @@
+// Command dnnstat inspects the DNN workload zoo: per-model layer counts,
+// weights, MACs, post-pruning sparsity, and the crossbar mapping footprint
+// on the default platform.
+//
+// Usage:
+//
+//	dnnstat               # summary of all nine workloads
+//	dnnstat -model VGG16  # per-layer detail for one model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"odin/internal/core"
+	"odin/internal/dnn"
+)
+
+func main() {
+	modelName := flag.String("model", "", "print per-layer detail for this zoo model")
+	flag.Parse()
+	if err := run(*modelName); err != nil {
+		fmt.Fprintln(os.Stderr, "dnnstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName string) error {
+	sys := core.DefaultSystem()
+	if modelName != "" {
+		model, err := dnn.ByName(modelName)
+		if err != nil {
+			return err
+		}
+		return detail(sys, model)
+	}
+	return summary(sys)
+}
+
+func summary(sys core.System) error {
+	fmt.Printf("%-14s %-13s %7s %12s %14s %10s %10s %12s\n",
+		"Model", "Dataset", "layers", "weights", "MACs", "sparsity", "xbars", "utilization")
+	for _, model := range dnn.AllWorkloads() {
+		if _, err := sys.Prepare(model); err != nil {
+			return err
+		}
+		mapping := sys.Arch.MapModel(model)
+		fmt.Printf("%-14s %-13s %7d %12d %14d %9.1f%% %10d %11.2f%%\n",
+			model.Name, model.Dataset.Name, len(model.Layers),
+			model.TotalWeights(), model.TotalMACs(),
+			model.MeanWeightSparsity()*100,
+			mapping.TotalXbars, mapping.Utilization*100)
+	}
+	return nil
+}
+
+func detail(sys core.System, model *dnn.Model) error {
+	wl, err := sys.Prepare(model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s: %d layers, %d weights, ideal accuracy %.1f%%\n\n",
+		model.Name, model.Dataset.Name, len(model.Layers),
+		model.TotalWeights(), model.IdealAccuracy*100)
+	fmt.Printf("%-4s %-24s %-5s %8s %10s %10s %7s %9s %9s\n",
+		"#", "name", "type", "kernel", "channels", "weights", "xbars", "w-spars", "a-spars")
+	for j, l := range model.Layers {
+		m := wl.Mappings[j]
+		fmt.Printf("%-4d %-24s %-5s %5dx%-2d %4d->%-4d %10d %7d %8.1f%% %8.1f%%\n",
+			j+1, l.Name, l.Type.String(), l.KernelH, l.KernelW,
+			l.InChannels, l.OutChannels, l.Weights(), m.Xbars,
+			l.WeightSparsity*100, l.ActSparsity*100)
+	}
+	mapping := sys.Arch.MapModel(model)
+	fmt.Printf("\ntotal crossbars: %d (%.2f%% of the %d-crossbar platform)\n",
+		mapping.TotalXbars, mapping.Utilization*100, sys.Arch.TotalCrossbars())
+	return nil
+}

@@ -1,0 +1,145 @@
+// Command odinpolicy manages offline OU-configuration policies as
+// deployment artefacts: train one from known workload families, inspect a
+// saved policy, or evaluate its agreement with the searched optimum on a
+// held-out model.
+//
+// Usage:
+//
+//	odinpolicy train -leave-out VGG -o policy.json
+//	odinpolicy show policy.json
+//	odinpolicy eval -model VGG11 policy.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"odin"
+	"odin/internal/core"
+	"odin/internal/dnn"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "odinpolicy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: odinpolicy train|show|eval ...")
+	}
+	switch args[0] {
+	case "train":
+		return train(args[1:])
+	case "show":
+		return show(args[1:])
+	case "eval":
+		return eval(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want train, show, or eval)", args[0])
+	}
+}
+
+func train(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	leaveOut := fs.String("leave-out", "", "workload family to exclude (the unseen family)")
+	out := fs.String("o", "policy.json", "output file")
+	seed := fs.Uint64("seed", 1, "initialisation/training seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys := odin.NewSystem()
+	known := dnn.AllWorkloads()
+	if *leaveOut != "" {
+		known = core.LeaveOut(known, *leaveOut)
+	}
+	cfg := odin.DefaultBootstrapConfig()
+	cfg.Seed = *seed
+	pol, n, err := odin.BootstrapPolicy(sys, known, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := odin.SavePolicy(f, pol); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d models (%d examples, %d parameters) -> %s\n",
+		len(known), n, pol.NumParams(), *out)
+	return nil
+}
+
+func loadPolicy(path string) (*odin.Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return odin.LoadPolicy(f)
+}
+
+func show(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: odinpolicy show <file>")
+	}
+	pol, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	g := pol.Grid()
+	fmt.Printf("policy: %d parameters, OU grid 2^%d..2^%d (%d levels per axis)\n",
+		pol.NumParams(), g.MinLevel, g.MaxLevel, g.Levels())
+	// Show a slice of the decision surface: predictions across depth and
+	// time for a representative 3×3-kernel, 60 %-sparse layer.
+	ages := []float64{1, 1e3, 1e6, 5e7}
+	fmt.Printf("%-12s", "depth \\ t(s)")
+	for _, a := range ages {
+		fmt.Printf("%10.0e", a)
+	}
+	fmt.Println()
+	for _, pos := range []int{0, 5, 10, 15, 19} {
+		fmt.Printf("layer %-6d", pos+1)
+		for _, a := range ages {
+			s := pol.Predict(odin.Features{
+				LayerIndex: pos, LayerCount: 20,
+				Sparsity: 0.6, KernelSize: 3, Time: a,
+			})
+			fmt.Printf("%10s", s.String())
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func eval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	modelName := fs.String("model", "VGG11", "held-out zoo model")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: odinpolicy eval -model <name> <file>")
+	}
+	pol, err := loadPolicy(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	sys := odin.NewSystem()
+	model, err := dnn.ByName(*modelName)
+	if err != nil {
+		return err
+	}
+	examples, err := core.CollectExamples(sys, []*dnn.Model{model}, core.DefaultBootstrapConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: agreement with the searched optimum on %d decisions: %.1f%%\n",
+		model.Name, len(examples), pol.Agreement(examples)*100)
+	return nil
+}

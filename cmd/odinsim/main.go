@@ -1,0 +1,113 @@
+// Command odinsim regenerates the paper's evaluation artefacts.
+//
+// Usage:
+//
+//	odinsim list                 # list experiment ids
+//	odinsim all                  # run every experiment
+//	odinsim fig3 fig8 overhead   # run specific experiments
+//
+// Each experiment prints the rows/series of the corresponding table or
+// figure of "Odin: Learning to Optimize Operation Unit Configuration for
+// Energy-efficient DNN Inferencing" (DATE 2025). Output is deterministic.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"odin/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "odinsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	asJSON := false
+	if len(args) > 0 && (args[0] == "-json" || args[0] == "--json") {
+		asJSON = true
+		args = args[1:]
+	}
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("no experiment selected")
+	}
+	if asJSON {
+		return runJSON(args)
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	case "all":
+		for _, e := range experiments.All() {
+			if err := runOne(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	}
+	for _, id := range args {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		if err := runOne(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runOne(e experiments.Experiment) error {
+	fmt.Printf("==> %s (%s)\n", e.Title, e.ID)
+	start := time.Now()
+	if err := e.Run(os.Stdout); err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	fmt.Printf("<== %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runJSON emits a {"id": result, ...} object for the selected experiments.
+func runJSON(ids []string) error {
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	out := make(map[string]any, len(ids))
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		data, err := e.Data()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		out[id] = data
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func usage() {
+	fmt.Println("usage: odinsim [-json] list | all | <experiment-id>...")
+	fmt.Println("experiments:")
+	for _, e := range experiments.All() {
+		fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+	}
+}

@@ -1,0 +1,110 @@
+// Command ouexplore dumps the OU design-space landscape Odin searches
+// over: for one layer of one zoo model at one device age, it prints the
+// energy, latency, EDP and non-ideality of every OU size on the discrete
+// grid, marks which sizes satisfy the η constraint, and highlights the
+// constrained optimum.
+//
+// Usage:
+//
+//	ouexplore -model VGG11 -layer 4 -age 1e4
+//	ouexplore -model ResNet18 -summary        # per-layer optima at several ages
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"odin/internal/core"
+	"odin/internal/dnn"
+	"odin/internal/search"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "VGG11", "zoo model name")
+		layer     = flag.Int("layer", 0, "layer index (0-based)")
+		age       = flag.Float64("age", 1, "device age in seconds")
+		summary   = flag.Bool("summary", false, "print per-layer optima at several ages instead of one landscape")
+	)
+	flag.Parse()
+	if err := run(*modelName, *layer, *age, *summary); err != nil {
+		fmt.Fprintln(os.Stderr, "ouexplore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName string, layer int, age float64, summary bool) error {
+	sys := core.DefaultSystem()
+	model, err := dnn.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	wl, err := sys.Prepare(model)
+	if err != nil {
+		return err
+	}
+	if summary {
+		return printSummary(sys, wl)
+	}
+	if layer < 0 || layer >= wl.Layers() {
+		return fmt.Errorf("layer %d out of range [0,%d)", layer, wl.Layers())
+	}
+	return printLandscape(sys, wl, layer, age)
+}
+
+func printLandscape(sys core.System, wl *core.Workload, layer int, age float64) error {
+	l := wl.Model.Layers[layer]
+	fmt.Printf("%s layer %d (%s): kernel %dx%d, %d->%d ch, sparsity %.1f%%, %d crossbars\n",
+		wl.Model.Name, layer, l.Name, l.KernelH, l.KernelW, l.InChannels, l.OutChannels,
+		l.WeightSparsity*100, wl.Mappings[layer].Xbars)
+	fmt.Printf("device age %.3g s (drift amplification %.2f×), η = %.2g\n\n",
+		age, sys.Acc.Amplification(age), sys.Acc.Eta)
+
+	grid := sys.Grid()
+	obj := core.LayerObjective(sys, wl, layer, age)
+	best := search.Exhaustive(grid, obj)
+
+	fmt.Printf("%-9s %12s %12s %12s %10s %s\n", "OU", "energy (J)", "latency (s)", "EDP", "NF", "")
+	for _, s := range grid.Sizes() {
+		cost := obj.Cost.Evaluate(obj.Work, s)
+		nf := obj.NF(s)
+		mark := ""
+		if !obj.Feasible(s) {
+			mark = "  VIOLATES η"
+		}
+		if best.Found && s == best.Best {
+			mark = "  <== optimum"
+		}
+		fmt.Printf("%-9s %12.3e %12.3e %12.3e %10.2e%s\n",
+			s.String(), cost.Energy, cost.Latency, cost.EDP(), nf, mark)
+	}
+	if !best.Found {
+		fmt.Println("\nno OU size satisfies η at this age — the device must be reprogrammed")
+	}
+	return nil
+}
+
+func printSummary(sys core.System, wl *core.Workload) error {
+	ages := []float64{1, 1e2, 1e4, 1e6, 5e7}
+	grid := sys.Grid()
+	fmt.Printf("%s: constrained EDP-optimal OU size per layer and device age\n", wl.Model.Name)
+	fmt.Printf("%-5s %-22s", "layer", "name")
+	for _, a := range ages {
+		fmt.Printf("%10.0e", a)
+	}
+	fmt.Println()
+	for j := 0; j < wl.Layers(); j++ {
+		fmt.Printf("%-5d %-22s", j+1, wl.Model.Layers[j].Name)
+		for _, a := range ages {
+			res := search.Exhaustive(grid, core.LayerObjective(sys, wl, j, a))
+			if res.Found {
+				fmt.Printf("%10s", res.Best.String())
+			} else {
+				fmt.Printf("%10s", "reprog!")
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

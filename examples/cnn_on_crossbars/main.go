@@ -1,0 +1,58 @@
+// CNN-on-crossbars: run an actual convolutional network on programmed
+// ReRAM crossbar models and watch non-idealities corrupt it.
+//
+//	go run ./examples/cnn_on_crossbars
+//
+// A small CNN (conv→ReLU→pool→conv→pool→FC) is programmed into 64×64
+// crossbars cell by cell. Every inference then flows through the
+// non-ideal read path — conductance quantisation, per-cell drift
+// variation, position-dependent IR-drop, optional read noise. The program
+// reports how the class-flip rate and logit distortion evolve with device
+// age, and how a reprogramming pass resets them — the device-level ground
+// truth behind Odin's non-ideality threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"odin"
+	"odin/internal/infer"
+)
+
+func main() {
+	device := odin.DefaultDeviceParams()
+	device.BitsPerCell = 6 // fine levels isolate drift/IR effects from quantisation
+
+	net := infer.RandomNet(1, 16, 16, 4, "example-cnn")
+	engine, err := infer.NewEngine(net, device, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Boundary-heavy evaluation set: the inputs non-idealities flip first.
+	candidates := infer.RandomInputs(200, 1, 16, 16, "example-cnn-inputs")
+	inputs := engine.HardestInputs(candidates, 50)
+	fmt.Printf("evaluating %d boundary inputs (hardest of %d random tensors)\n\n",
+		len(inputs), len(candidates))
+
+	ouSize := odin.Size{R: 16, C: 16}
+	fmt.Printf("%-12s %14s %12s\n", "device age", "logit error", "flip rate")
+	for _, age := range []float64{0, 1e2, 1e4, 1e6, 1e8} {
+		opts := infer.Options{OU: ouSize, SimTime: age}
+		fmt.Printf("%-12.0e %13.1f%% %11.1f%%\n",
+			age, engine.MeanLogitError(inputs, opts)*100, engine.FlipRate(inputs, opts)*100)
+	}
+
+	// Reprogramming resets the drift clock (and resamples each cell's
+	// drift coefficient — the filaments re-form).
+	const late = 1e8
+	before := engine.FlipRate(inputs, infer.Options{OU: ouSize, SimTime: late})
+	energy := engine.Reprogram(late)
+	after := engine.FlipRate(inputs, infer.Options{OU: ouSize, SimTime: late})
+	fmt.Printf("\nreprogramming at t = %.0e s: flip rate %.1f%% -> %.1f%% (write energy %.2e J)\n",
+		late, before*100, after*100, energy)
+	fmt.Println("\nThis measured degradation-and-reset cycle is what Odin's η constraint")
+	fmt.Println("manages analytically: shrink the OU while the device ages, rewrite only")
+	fmt.Println("when even the smallest OU cannot hold the line.")
+}

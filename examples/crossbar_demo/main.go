@@ -1,0 +1,54 @@
+// Crossbar demo: the device-level story behind the OU constraint.
+//
+//	go run ./examples/crossbar_demo
+//
+// A 128×128 ReRAM crossbar is programmed with a random weight block, then
+// read back through the reference non-ideal MVM at different OU sizes and
+// device ages. The relative MVM error shows both effects Odin trades off:
+// bigger OUs amplify IR-drop immediately, and conductance drift amplifies
+// everything over time — until a reprogramming pass resets the array.
+package main
+
+import (
+	"fmt"
+
+	"odin"
+)
+
+func main() {
+	params := odin.DefaultDeviceParams()
+	params.BitsPerCell = 4 // finer levels make the error trend easier to read
+	xbar := odin.NewCrossbar(128, params)
+
+	// Synthetic weight block and input activation vector.
+	w := odin.RandomWeights(128, 128, "crossbar-demo-weights")
+	inputs := odin.RandomWeights(1, 128, "crossbar-demo-inputs")
+	input := inputs.Row(0)
+	xbar.Program(w, 0)
+
+	sizes := []odin.Size{{R: 4, C: 4}, {R: 16, C: 16}, {R: 64, C: 64}, {R: 128, C: 128}}
+	ages := []float64{0, 1e2, 1e4, 1e6}
+
+	fmt.Println("Relative MVM error ‖noisy − ideal‖/‖ideal‖ by OU size and device age:")
+	fmt.Printf("%10s", "OU \\ t(s)")
+	for _, t := range ages {
+		fmt.Printf("%10.0e", t)
+	}
+	fmt.Println()
+	for _, s := range sizes {
+		fmt.Printf("%10s", s.String())
+		for _, t := range ages {
+			err := xbar.RelativeMVMError(input, odin.MVMOptions(s, t))
+			fmt.Printf("%9.2f%%", err*100)
+		}
+		fmt.Println()
+	}
+
+	// Reprogram and show the reset.
+	agedErr := xbar.RelativeMVMError(input, odin.MVMOptions(odin.Size{R: 16, C: 16}, 1e6))
+	energy, latency := xbar.Reprogram(1e6)
+	freshErr := xbar.RelativeMVMError(input, odin.MVMOptions(odin.Size{R: 16, C: 16}, 1e6))
+	fmt.Printf("\nreprogramming at t = 1e6 s: error %.2f%% -> %.2f%% (cost: %.2e J, %.2e s)\n",
+		agedErr*100, freshErr*100, energy, latency)
+	fmt.Printf("array rewritten %d times in total\n", xbar.Writes())
+}

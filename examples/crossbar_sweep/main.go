@@ -1,0 +1,63 @@
+// Crossbar sweep: does Odin's advantage survive smaller arrays?
+//
+//	go run ./examples/crossbar_sweep
+//
+// The paper's Fig. 9 sensitivity study re-runs the comparison on 128×128,
+// 64×64 and 32×32 crossbars (ResNet34 / CIFAR-100). Smaller arrays suffer
+// less IR-drop, so homogeneous OUs reprogram less — yet Odin keeps winning
+// because its layer-wise sizing also cuts inference EDP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"odin"
+)
+
+func main() {
+	horizon := odin.HorizonConfig{End: 1e8, Epochs: 800}
+
+	fmt.Printf("%-10s %10s %10s %10s %10s %14s\n",
+		"crossbar", "16×16", "16×4", "9×8", "8×4", "(EDP / Odin)")
+	for _, xbarSize := range []int{128, 64, 32} {
+		sys := odin.NewSystem().WithCrossbarSize(xbarSize)
+
+		// Odin with the leave-one-out bootstrap.
+		wl, err := sys.Prepare(odin.MustModel("ResNet34"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		known := odin.LeaveOut(odin.Models(), "ResNet")
+		pol, _, err := odin.BootstrapPolicy(sys, known, odin.DefaultBootstrapConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctrl, err := odin.NewController(sys, wl, pol, odin.DefaultControllerOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		odinSum := odin.SimulateHorizon(ctrl, horizon)
+
+		fmt.Printf("%dx%-8d", xbarSize, xbarSize)
+		for _, size := range odin.BaselineSizes() {
+			if size.R > xbarSize || size.C > xbarSize {
+				fmt.Printf("%10s", "-")
+				continue
+			}
+			bwl, err := sys.Prepare(odin.MustModel("ResNet34"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			b, err := odin.NewBaseline(sys, bwl, size)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum := odin.SimulateHorizon(b, horizon)
+			fmt.Printf("%10.2f", sum.TotalEDP()/odinSum.TotalEDP())
+		}
+		fmt.Printf("   (odin: %d reprograms)\n", odinSum.Reprograms)
+	}
+	fmt.Println("\nValues > 1 mean the homogeneous configuration spends that many times")
+	fmt.Println("more EDP than Odin on the same crossbar geometry.")
+}

@@ -1,0 +1,67 @@
+// Quickstart: run Odin on an unseen DNN and compare it with the strongest
+// homogeneous baseline.
+//
+//	go run ./examples/quickstart
+//
+// The program bootstraps the OU policy offline from every non-VGG workload
+// (the paper's leave-one-out protocol), then lets Odin adapt to VGG11
+// online over a 10⁸-second horizon, and prints energy / latency / EDP /
+// reprogramming totals against the de-facto-standard 16×16 OU
+// configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"odin"
+)
+
+func main() {
+	sys := odin.NewSystem()
+
+	// The DNN Odin has never seen.
+	target := odin.MustModel("VGG11")
+	wl, err := sys.Prepare(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline: train the policy on the other workload families.
+	known := odin.LeaveOut(odin.Models(), "VGG")
+	pol, examples, err := odin.BootstrapPolicy(sys, known, odin.DefaultBootstrapConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline policy bootstrapped from %d models (%d examples)\n", len(known), examples)
+
+	// Online: Algorithm 1 over the drift horizon.
+	ctrl, err := odin.NewController(sys, wl, pol, odin.DefaultControllerOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	horizon := odin.HorizonConfig{} // defaults: t0 → 1e8 s
+	odinSum := odin.SimulateHorizon(ctrl, horizon)
+
+	// Baseline: the fixed 16×16 OU configuration from prior work.
+	blWl, err := sys.Prepare(odin.MustModel("VGG11"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := odin.NewBaseline(sys, blWl, odin.Size{R: 16, C: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseSum := odin.SimulateHorizon(baseline, horizon)
+
+	fmt.Printf("\n%-8s %14s %14s %14s %12s %10s\n",
+		"config", "energy/inf (J)", "latency/inf(s)", "EDP", "reprograms", "accuracy")
+	row := func(name string, s odin.HorizonSummary) {
+		fmt.Printf("%-8s %14.3e %14.3e %14.3e %12d %9.1f%%\n",
+			name, s.TotalEnergy(), s.TotalLatency(), s.TotalEDP(), s.Reprograms, s.MeanAccuracy*100)
+	}
+	row("16×16", baseSum)
+	row("Odin", odinSum)
+	fmt.Printf("\nOdin reduces EDP by %.1f× without losing accuracy.\n",
+		baseSum.TotalEDP()/odinSum.TotalEDP())
+}

@@ -1,0 +1,71 @@
+// Unseen-DNN adaptation study: watch the online policy converge.
+//
+//	go run ./examples/unseen_dnn
+//
+// The offline policy is trained on ResNets, DenseNet, GoogLeNet and ViT;
+// VGG16 (CIFAR-100) arrives at runtime. The program runs Algorithm 1
+// epoch by epoch and reports, per decision epoch, how often the policy's
+// prediction already matches the searched optimum (its agreement), how
+// many training examples accumulated, and when policy updates fire —
+// the dynamics behind the paper's Fig. 5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"odin"
+)
+
+func main() {
+	sys := odin.NewSystem()
+
+	target := odin.MustModel("VGG16")
+	wl, err := sys.Prepare(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	known := odin.LeaveOut(odin.Models(), "VGG")
+	pol, n, err := odin.BootstrapPolicy(sys, known, odin.DefaultBootstrapConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline policy: %d examples from %d known models\n\n", n, len(known))
+
+	opts := odin.DefaultControllerOptions()
+	opts.BufferSize = 20 // smaller buffer → visible update cadence
+	ctrl, err := odin.NewController(sys, wl, pol, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s %-12s %-14s %-12s %-8s\n", "epoch", "time (s)", "disagreements", "agreement", "updates")
+	layers := wl.Layers()
+	totalUpdates := 0
+	for epoch := 0; epoch < 40; epoch++ {
+		t := float64(epoch) * 2.5e3 // sweep t0 → 1e5 s
+		rep := ctrl.RunInference(t)
+		if rep.PolicyUpdated {
+			totalUpdates++
+		}
+		agreement := 1 - float64(rep.Disagreements)/float64(layers)
+		if epoch%4 == 0 || rep.PolicyUpdated {
+			marker := ""
+			if rep.PolicyUpdated {
+				marker = "  <- policy updated"
+			}
+			fmt.Printf("%-8d %-12.3g %-14d %-12s %-8d%s\n",
+				epoch, t, rep.Disagreements,
+				fmt.Sprintf("%.0f%%", agreement*100), ctrl.PolicyUpdates(), marker)
+		}
+	}
+
+	fmt.Printf("\nfinal layer-wise OU configuration (t = 1e5 s):\n")
+	for j, s := range ctrl.LastSizes() {
+		l := wl.Model.Layers[j]
+		fmt.Printf("  layer %2d %-12s %-6s (sparsity %4.1f%%)\n",
+			j+1, l.Name, s.String(), l.WeightSparsity*100)
+	}
+	fmt.Printf("\npolicy updates fired: %d; reprograms: %d\n", ctrl.PolicyUpdates(), ctrl.Reprograms())
+}

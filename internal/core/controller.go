@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"odin/internal/mlp"
+	"odin/internal/ou"
+	"odin/internal/policy"
+	"odin/internal/search"
+)
+
+// ControllerOptions tune the Odin online-learning loop.
+type ControllerOptions struct {
+	// SearchK is the resource-bounded search budget (paper: 3).
+	SearchK int
+	// Exhaustive switches line 6 of Algorithm 1 to the EX search (§V.B's
+	// higher-quality, ~3× costlier alternative).
+	Exhaustive bool
+	// BufferSize is the training-buffer capacity (paper: 50 examples).
+	BufferSize int
+	// UpdateEpochs is the supervised-learning epoch count per policy update
+	// (paper: 100).
+	UpdateEpochs int
+	// LearningRate for policy updates; 0 uses the mlp default.
+	LearningRate float64
+	// TrainSeed makes online updates deterministic.
+	TrainSeed uint64
+
+	// ConfidenceEX is an extension beyond the paper's Algorithm 1: when the
+	// policy's decision confidence (product of its heads' max softmax
+	// probabilities) falls below ConfidenceThreshold, the controller runs
+	// the exhaustive search for that layer instead of the K-step local
+	// walk. The idea follows the uncertainty-aware online learning line
+	// the paper builds on: spend comparator budget exactly where the
+	// learnt model is unsure.
+	ConfidenceEX bool
+	// ConfidenceThreshold gates ConfidenceEX (default 0.5 when enabled).
+	ConfidenceThreshold float64
+
+	// ProactiveReprogram is an extension beyond the paper's Algorithm 1:
+	// instead of reprogramming only when *no* OU size satisfies η, the
+	// controller also reprograms when the drift-constrained configuration's
+	// inference latency has degraded past ProactiveFactor× the fresh-device
+	// latency. Drift pushes Odin toward fine OUs, which trade latency for
+	// energy; for latency-SLA deployments a write pass restores throughput.
+	// (An EDP-based trigger would never fire: constrained fine OUs *lower*
+	// per-run EDP under this platform's cost model.)
+	ProactiveReprogram bool
+	// ProactiveFactor is the latency degradation ratio that triggers a
+	// proactive pass (default 1.5 when ProactiveReprogram is set).
+	ProactiveFactor float64
+}
+
+// DefaultControllerOptions returns the paper's settings.
+func DefaultControllerOptions() ControllerOptions {
+	return ControllerOptions{
+		SearchK:      3,
+		BufferSize:   50,
+		UpdateEpochs: 100,
+		TrainSeed:    1,
+	}
+}
+
+func (o ControllerOptions) withDefaults() ControllerOptions {
+	if o.SearchK <= 0 {
+		o.SearchK = 3
+	}
+	if o.BufferSize <= 0 {
+		o.BufferSize = 50
+	}
+	if o.UpdateEpochs <= 0 {
+		o.UpdateEpochs = 100
+	}
+	if o.TrainSeed == 0 {
+		o.TrainSeed = 1
+	}
+	if o.ProactiveReprogram && o.ProactiveFactor <= 1 {
+		o.ProactiveFactor = 1.5
+	}
+	if o.ConfidenceEX && o.ConfidenceThreshold <= 0 {
+		o.ConfidenceThreshold = 0.5
+	}
+	return o
+}
+
+// Controller runs Algorithm 1 for one workload: per run and per layer it
+// predicts an OU size with the policy, searches for the constrained EDP
+// optimum, accumulates disagreements as training data, updates the policy
+// when the buffer fills, and reprograms the device when no OU size
+// satisfies the non-ideality threshold.
+type Controller struct {
+	sys  System
+	wl   *Workload
+	pol  *policy.Policy
+	buf  *policy.Buffer
+	opts ControllerOptions
+
+	programmedAt float64 // simulation time of the last (re)programming
+	reprograms   int
+	updates      int
+	lastSizes    []ou.Size
+
+	// freshLatency caches the fresh-device (t₀) constrained-optimal
+	// inference latency, the proactive-reprogram reference. Computed lazily.
+	freshLatency float64
+}
+
+// NewController creates an Odin controller. The policy is adapted in place
+// (pass a Clone of the offline policy to keep the original).
+func NewController(sys System, wl *Workload, pol *policy.Policy, opts ControllerOptions) (*Controller, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if wl == nil || pol == nil {
+		return nil, fmt.Errorf("core: controller needs a workload and a policy")
+	}
+	if pol.Grid() != sys.Grid() {
+		return nil, fmt.Errorf("core: policy grid %+v does not match system grid %+v",
+			pol.Grid(), sys.Grid())
+	}
+	return &Controller{
+		sys:  sys,
+		wl:   wl,
+		pol:  pol,
+		buf:  policy.NewBuffer(opts.withDefaults().BufferSize),
+		opts: opts.withDefaults(),
+	}, nil
+}
+
+// Policy returns the (adapting) policy.
+func (c *Controller) Policy() *policy.Policy { return c.pol }
+
+// Reprograms returns the reprogramming count so far.
+func (c *Controller) Reprograms() int { return c.reprograms }
+
+// PolicyUpdates returns how many buffer-full updates have run.
+func (c *Controller) PolicyUpdates() int { return c.updates }
+
+// Age returns the device age at simulation time t.
+func (c *Controller) Age(t float64) float64 {
+	age := t - c.programmedAt + c.sys.Device.T0
+	if age < c.sys.Device.T0 {
+		age = c.sys.Device.T0
+	}
+	return age
+}
+
+// RunInference executes Algorithm 1's per-run body at simulation time t.
+func (c *Controller) RunInference(t float64) RunReport {
+	age := c.Age(t)
+	rep := RunReport{Time: t, Age: age, Sizes: make([]ou.Size, c.wl.Layers())}
+	grid := c.sys.Grid()
+	needReprogram := false
+
+	for j := 0; j < c.wl.Layers(); j++ {
+		feat := c.wl.FeaturesAt(j, age)
+		predicted := c.pol.Predict(feat) // line 5
+		obj := c.sys.objective(c.wl, j, age)
+
+		// Lines 7–8 precondition: when no OU size can meet η, the layer
+		// runs degraded at the smallest OU and the device is reprogrammed
+		// before the next run. NF is monotone in R+C, so checking the
+		// smallest grid size decides global satisfiability.
+		if !c.sys.Acc.AnySatisfiable(j, c.wl.Layers(), grid, age) {
+			needReprogram = true
+			rep.Sizes[j] = grid.SizeAt(0, 0)
+			continue
+		}
+
+		// Line 6: shrink the prediction into the feasible region if drift
+		// has outrun the policy, then refine locally (RB) or globally (EX).
+		start := search.ClampFeasible(grid, obj, predicted)
+		useEX := c.opts.Exhaustive
+		if !useEX && c.opts.ConfidenceEX &&
+			c.pol.Confidence(feat) < c.opts.ConfidenceThreshold {
+			useEX = true
+		}
+		var res search.Result
+		if useEX {
+			res = search.Exhaustive(grid, obj)
+		} else {
+			res = search.ResourceBounded(grid, obj, start, c.opts.SearchK)
+		}
+		rep.SearchEvaluations += res.Evaluations
+		if !res.Found {
+			// The bounded walk can miss a feasible region the clamp already
+			// located; fall back to the clamped start.
+			res.Best = start
+		}
+		rep.Sizes[j] = res.Best
+
+		if predicted != res.Best { // lines 9–10
+			rep.Disagreements++
+			if c.buf.Add(policy.Example{F: feat, Target: res.Best}) {
+				c.updatePolicy() // line 11
+				rep.PolicyUpdated = true
+			}
+		}
+	}
+
+	rep.Energy, rep.Latency = c.sys.inferenceCost(c.wl, rep.Sizes)
+	rep.Accuracy = c.sys.Acc.Accuracy(c.wl.Model.IdealAccuracy, rep.Sizes, age)
+	c.lastSizes = rep.Sizes
+
+	if c.opts.ProactiveReprogram && !needReprogram {
+		if c.freshLatency == 0 {
+			c.freshLatency = c.freshDeviceLatency()
+		}
+		if rep.Latency > c.opts.ProactiveFactor*c.freshLatency {
+			needReprogram = true
+		}
+	}
+
+	if needReprogram {
+		rep.Reprogrammed = true
+		rep.ReprogramPasses = 1
+		rep.ReprogramEnergy, rep.ReprogramLatency = c.sys.reprogramCost(c.wl)
+		c.programmedAt = t
+		c.reprograms++
+	}
+	return rep
+}
+
+func (c *Controller) updatePolicy() {
+	examples := c.buf.Drain()
+	_, err := c.pol.Train(examples, mlp.TrainOptions{
+		Epochs:       c.opts.UpdateEpochs,
+		LearningRate: c.opts.LearningRate,
+		Seed:         c.opts.TrainSeed,
+	})
+	if err != nil {
+		// Targets come from the grid-constrained search, so this is a
+		// programming error, not a runtime condition.
+		panic(err)
+	}
+	c.updates++
+}
+
+// LastSizes returns the OU sizes chosen by the most recent run (nil before
+// the first run).
+func (c *Controller) LastSizes() []ou.Size { return c.lastSizes }
+
+// freshDeviceLatency computes the inference latency of the exhaustive
+// per-layer optima on a just-programmed device — the proactive-reprogram
+// reference.
+func (c *Controller) freshDeviceLatency() float64 {
+	grid := c.sys.Grid()
+	sizes := make([]ou.Size, c.wl.Layers())
+	for j := range sizes {
+		res := search.Exhaustive(grid, c.sys.objective(c.wl, j, c.sys.Device.T0))
+		if res.Found {
+			sizes[j] = res.Best
+		} else {
+			sizes[j] = grid.SizeAt(0, 0)
+		}
+	}
+	_, l := c.sys.inferenceCost(c.wl, sizes)
+	return l
+}

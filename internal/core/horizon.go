@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// HorizonConfig drives a long-term simulation. The platform serves a
+// continuous inference stream (InferenceRate inferences per second) from
+// t = 0 to End (the paper's sweep: t₀ → 10⁸ s). Simulating every inference
+// is infeasible, so the horizon is split into Epochs decision points: at
+// each epoch one representative inference run is executed (OU decisions,
+// constraint checks, policy learning, possible reprogramming) and its
+// inference energy/latency is charged for every inference served during the
+// epoch. Reprogramming cost is charged once per event. This is exactly how
+// the paper's totals work: reprogramming passes are rare events amortised
+// over an enormous number of inference runs.
+type HorizonConfig struct {
+	End           float64 // horizon in seconds (default 1e8)
+	Epochs        int     // decision points across the horizon (default 2000)
+	InferenceRate float64 // served inferences per second (default 1.0)
+	RecordEvery   int     // keep every k-th epoch as a sample; 0 disables
+}
+
+func (c HorizonConfig) withDefaults() HorizonConfig {
+	if c.End <= 0 {
+		c.End = 1e8
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 2000
+	}
+	if c.InferenceRate <= 0 {
+		// Default: a periodic-sensing edge workload (one inference every
+		// ~80 minutes). At this cadence reprogramming passes are a material
+		// share of the energy budget for coarse OUs, matching the §V.C
+		// balance between inference and reprogramming cost.
+		c.InferenceRate = 2e-4
+	}
+	return c
+}
+
+// RunSample is a decimated per-epoch record for plotting (Fig. 7 style).
+type RunSample struct {
+	Epoch        int
+	Time         float64
+	Accuracy     float64
+	EDP          float64 // per-inference EDP at this epoch
+	Reprogrammed bool
+}
+
+// HorizonSummary aggregates a horizon simulation.
+type HorizonSummary struct {
+	Epochs     int
+	Inferences float64 // inferences served over the horizon
+
+	InferenceEnergy  float64 // Σ energy of all served inferences (J)
+	InferenceLatency float64 // Σ latency of all served inferences (s)
+	ReprogramEnergy  float64 // Σ reprogramming energy (J)
+	ReprogramLatency float64 // Σ reprogramming latency (s)
+	Reprograms       int
+
+	MeanAccuracy  float64 // epoch-weighted mean estimated accuracy
+	MinAccuracy   float64
+	FinalAccuracy float64
+
+	SearchEvaluations int // total candidate evaluations (overhead metric)
+
+	Samples []RunSample
+}
+
+// MeanInferenceEnergy returns inference energy per served inference.
+func (s HorizonSummary) MeanInferenceEnergy() float64 {
+	return s.InferenceEnergy / s.Inferences
+}
+
+// MeanInferenceLatency returns inference latency per served inference.
+func (s HorizonSummary) MeanInferenceLatency() float64 {
+	return s.InferenceLatency / s.Inferences
+}
+
+// InferenceEDP returns the per-inference inference-only energy-delay
+// product — the normalisation basis of Fig. 6 and Fig. 8 ("normalized with
+// respect to inferencing EDP of (16×16)").
+func (s HorizonSummary) InferenceEDP() float64 {
+	return s.MeanInferenceEnergy() * s.MeanInferenceLatency()
+}
+
+// TotalEnergy returns (inference + reprogramming) energy per inference.
+func (s HorizonSummary) TotalEnergy() float64 {
+	return (s.InferenceEnergy + s.ReprogramEnergy) / s.Inferences
+}
+
+// TotalLatency returns (inference + reprogramming) latency per inference.
+func (s HorizonSummary) TotalLatency() float64 {
+	return (s.InferenceLatency + s.ReprogramLatency) / s.Inferences
+}
+
+// TotalEDP returns the per-inference EDP including reprogramming overheads
+// — the quantity the Fig. 6/8/9 bars compare.
+func (s HorizonSummary) TotalEDP() float64 {
+	return s.TotalEnergy() * s.TotalLatency()
+}
+
+// SimulateHorizon executes the configured horizon on the runner.
+func SimulateHorizon(r Runner, cfg HorizonConfig) HorizonSummary {
+	cfg = cfg.withDefaults()
+	period := cfg.End / float64(cfg.Epochs)
+	perEpoch := cfg.InferenceRate * period
+	sum := HorizonSummary{Epochs: cfg.Epochs, MinAccuracy: math.Inf(1)}
+	var accTotal float64
+	for k := 0; k < cfg.Epochs; k++ {
+		t := float64(k) * period
+		rep := r.RunInference(t)
+		sum.Inferences += perEpoch
+		sum.InferenceEnergy += rep.Energy * perEpoch
+		sum.InferenceLatency += rep.Latency * perEpoch
+		sum.ReprogramEnergy += rep.ReprogramEnergy
+		sum.ReprogramLatency += rep.ReprogramLatency
+		sum.SearchEvaluations += rep.SearchEvaluations
+		sum.Reprograms += rep.ReprogramPasses
+		accTotal += rep.Accuracy
+		if rep.Accuracy < sum.MinAccuracy {
+			sum.MinAccuracy = rep.Accuracy
+		}
+		sum.FinalAccuracy = rep.Accuracy
+		if cfg.RecordEvery > 0 && k%cfg.RecordEvery == 0 {
+			sum.Samples = append(sum.Samples, RunSample{
+				Epoch: k, Time: t, Accuracy: rep.Accuracy,
+				EDP: rep.EDP(), Reprogrammed: rep.Reprogrammed,
+			})
+		}
+	}
+	sum.MeanAccuracy = accTotal / float64(cfg.Epochs)
+	return sum
+}
+
+// String renders a one-line summary for logs.
+func (s HorizonSummary) String() string {
+	return fmt.Sprintf("epochs=%d reprograms=%d E=%.3e J L=%.3e s EDP=%.3e acc(mean/min)=%.3f/%.3f",
+		s.Epochs, s.Reprograms, s.TotalEnergy(), s.TotalLatency(), s.TotalEDP(),
+		s.MeanAccuracy, s.MinAccuracy)
+}

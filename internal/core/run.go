@@ -1,0 +1,104 @@
+package core
+
+import (
+	"odin/internal/ou"
+	"odin/internal/search"
+)
+
+// RunReport is the outcome of one inference run (one pass over all layers).
+type RunReport struct {
+	Time float64 // simulation time of the run (s)
+	Age  float64 // device age at the run (s since last programming + t₀)
+
+	Sizes []ou.Size // OU size used per layer
+
+	// Inference costs for this run (Eq. 1/2 + peripherals + NoC).
+	Energy  float64
+	Latency float64
+
+	// Reprogramming triggered by this run (cost booked on this run). A
+	// baseline run can carry several passes when multiple violation
+	// deadlines elapsed since the previous decision epoch.
+	Reprogrammed     bool
+	ReprogramPasses  int
+	ReprogramEnergy  float64
+	ReprogramLatency float64
+
+	// Online-learning bookkeeping (Odin only).
+	Disagreements     int // layers where policy ≠ searched best
+	PolicyUpdated     bool
+	SearchEvaluations int
+
+	// Estimated inference accuracy of this run.
+	Accuracy float64
+}
+
+// EDP returns this run's inference energy-delay product.
+func (r RunReport) EDP() float64 { return r.Energy * r.Latency }
+
+// TotalEnergy returns inference + reprogramming energy of the run.
+func (r RunReport) TotalEnergy() float64 { return r.Energy + r.ReprogramEnergy }
+
+// TotalLatency returns inference + reprogramming latency of the run.
+func (r RunReport) TotalLatency() float64 { return r.Latency + r.ReprogramLatency }
+
+// Runner is anything that can execute inference runs over simulated time:
+// the Odin controller or a homogeneous baseline.
+type Runner interface {
+	// RunInference executes one inference run at simulation time t (seconds
+	// since the workload started; t=0 is the initial programming instant).
+	RunInference(t float64) RunReport
+	// Reprograms returns the number of reprogramming passes so far
+	// (excluding the initial programming).
+	Reprograms() int
+}
+
+// inferenceCost accumulates the full inference energy/latency of one run
+// given per-layer sizes: the Eq. 1/2 analytical models per layer plus
+// peripheral energy and the workload's NoC cost. Layers execute in a
+// pipeline across PEs, so layer latencies add (one image traverses all
+// layers sequentially).
+func (s System) inferenceCost(wl *Workload, sizes []ou.Size) (energy, latency float64) {
+	cm := s.Arch.CostModel()
+	for j, size := range sizes {
+		cost := cm.Evaluate(wl.Works[j], size)
+		energy += cost.Energy
+		energy += s.Arch.PeripheralEnergy(wl.Model.Layers[j], wl.Mappings[j], cost.Cycles)
+		latency += cost.Latency
+	}
+	energy += wl.NoCEnergy
+	latency += wl.NoCLatency
+	return energy, latency
+}
+
+// reprogramCost returns the energy/latency of rewriting the workload's
+// non-zero cells. Energy scales with the cell count. Latency is the
+// row-sequential write time of one tile's crossbar set: tiles rewrite in
+// parallel, but the 96 crossbars of a tile share one program-and-verify
+// unit — this is what makes frequent reprogramming the dominant latency
+// overhead for coarse OUs (§V.C).
+func (s System) reprogramCost(wl *Workload) (energy, latency float64) {
+	energy = s.Device.ReprogramEnergy(wl.CellsNonZero)
+	cellsPerTile := s.Arch.CrossbarSize * s.Arch.CrossbarSize * s.Arch.CrossbarsPerTile
+	latency = s.Device.ReprogramLatency(cellsPerTile, s.Arch.CrossbarSize)
+	return energy, latency
+}
+
+// LayerObjective builds the search objective scoring OU sizes for layer j
+// of the workload at device age `age` — the quantity Algorithm 1's line 6
+// optimises. Exported for the experiment drivers and design-space tooling.
+func LayerObjective(s System, wl *Workload, j int, age float64) search.Objective {
+	return s.objective(wl, j, age)
+}
+
+// objective builds the per-layer search objective at device age `age`.
+func (s System) objective(wl *Workload, j int, age float64) search.Objective {
+	return search.Objective{
+		Cost:  s.Arch.CostModel(),
+		Work:  wl.Works[j],
+		Acc:   s.Acc,
+		Layer: j,
+		Of:    wl.Layers(),
+		Time:  age,
+	}
+}

@@ -1,0 +1,81 @@
+package dnn
+
+import "testing"
+
+func TestMobileNetV2Structure(t *testing.T) {
+	m := NewMobileNetV2()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// stem + (2 + 16×3) block layers + head + fc = 53.
+	if len(m.Layers) != 53 {
+		t.Fatalf("MobileNetV2 has %d layers, want 53", len(m.Layers))
+	}
+	dw := 0
+	for _, l := range m.Layers {
+		if l.GroupCount() > 1 {
+			dw++
+			if l.Groups != l.InChannels || l.Groups != l.OutChannels {
+				t.Errorf("%s is grouped but not depthwise: %d groups, %d->%d",
+					l.Name, l.Groups, l.InChannels, l.OutChannels)
+			}
+			if l.RowsRequired() != 9 {
+				t.Errorf("%s depthwise rows = %d, want 9", l.Name, l.RowsRequired())
+			}
+		}
+	}
+	if dw != 17 {
+		t.Fatalf("MobileNetV2 has %d depthwise layers, want 17 (one per block)", dw)
+	}
+	// ≈2.3 M parameters for the CIFAR variant.
+	if w := m.TotalWeights(); w < 2_000_000 || w > 3_000_000 {
+		t.Fatalf("MobileNetV2 weights = %d, want ≈ 2.3M", w)
+	}
+	head := m.Layers[len(m.Layers)-1]
+	if head.InChannels != 1280 || head.OutChannels != 10 {
+		t.Fatalf("classifier shape wrong: %+v", head)
+	}
+}
+
+func TestGroupedLayerArithmetic(t *testing.T) {
+	l := Layer{Name: "dw", Type: Conv, KernelH: 3, KernelW: 3,
+		InChannels: 64, OutChannels: 64, InH: 16, InW: 16, Stride: 1, Groups: 64}
+	if l.Weights() != 9*64 {
+		t.Fatalf("depthwise weights = %d, want 576", l.Weights())
+	}
+	if l.RowsRequired() != 9 {
+		t.Fatalf("depthwise rows = %d, want 9", l.RowsRequired())
+	}
+	grouped := Layer{Name: "g", Type: Conv, KernelH: 1, KernelW: 1,
+		InChannels: 64, OutChannels: 128, InH: 8, InW: 8, Stride: 1, Groups: 4}
+	if grouped.Weights() != 16*128 {
+		t.Fatalf("grouped weights = %d, want 2048", grouped.Weights())
+	}
+}
+
+func TestGroupedLayerValidation(t *testing.T) {
+	bad := Layer{Name: "x", KernelH: 3, KernelW: 3, InChannels: 10,
+		OutChannels: 10, InH: 8, InW: 8, Stride: 1, Groups: 3} // 10 % 3 != 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("indivisible groups accepted")
+	}
+	neg := bad
+	neg.Groups = -1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative groups accepted")
+	}
+}
+
+func TestExtendedWorkloads(t *testing.T) {
+	ext := ExtendedWorkloads()
+	if len(ext) != 10 {
+		t.Fatalf("extended zoo has %d models, want 10", len(ext))
+	}
+	if _, err := ByName("MobileNetV2"); err != nil {
+		t.Fatalf("MobileNetV2 not resolvable: %v", err)
+	}
+	// The paper's evaluation set stays exactly nine.
+	if len(AllWorkloads()) != 9 {
+		t.Fatal("AllWorkloads must remain the paper's nine")
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"odin/internal/core"
+	"odin/internal/ou"
+)
+
+func TestEmpiricalValidatesSurrogateTimeAxis(t *testing.T) {
+	sizes := []ou.Size{{R: 16, C: 16}}
+	ages := []float64{1, 1e4, 1e9}
+	res, err := Empirical(core.DefaultSystem(), sizes, ages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("expected 3 cells, got %d", len(res.Cells))
+	}
+	get := func(age float64) EmpiricalCell {
+		c, ok := res.Cell(sizes[0], age)
+		if !ok {
+			t.Fatalf("missing cell for age %v", age)
+		}
+		return c
+	}
+	fresh, aged, ancient := get(1), get(1e4), get(1e9)
+	// Both empirical measures are monotone in age, like the surrogate.
+	if !(fresh.LogitError < aged.LogitError && aged.LogitError < ancient.LogitError) {
+		t.Errorf("logit error not monotone: %v, %v, %v",
+			fresh.LogitError, aged.LogitError, ancient.LogitError)
+	}
+	if !(fresh.FlipRate <= aged.FlipRate && aged.FlipRate <= ancient.FlipRate) {
+		t.Errorf("flip rate not monotone: %v, %v, %v",
+			fresh.FlipRate, aged.FlipRate, ancient.FlipRate)
+	}
+	// A fresh device barely flips boundary inputs; an ancient one flips many.
+	if fresh.FlipRate > 0.15 {
+		t.Errorf("fresh flip rate %v too high", fresh.FlipRate)
+	}
+	if ancient.FlipRate < 0.2 {
+		t.Errorf("ancient flip rate %v too low to validate the drift axis", ancient.FlipRate)
+	}
+	// Surrogate estimates accompany every cell.
+	for _, c := range res.Cells {
+		if c.SurrogateLoss < 0 || c.SurrogateLoss > 1 {
+			t.Errorf("surrogate loss %v out of range", c.SurrogateLoss)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "flip") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestNoiseSweepMonotone(t *testing.T) {
+	res, err := Noise(core.DefaultSystem(), []float64{0, 0.05, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	clean, mid, loud := res.Rows[0], res.Rows[1], res.Rows[2]
+	if clean.LogitError > 0.05 {
+		t.Errorf("zero-noise logit error %v should be near zero (quantisation only)", clean.LogitError)
+	}
+	if !(clean.LogitError < mid.LogitError && mid.LogitError < loud.LogitError) {
+		t.Errorf("logit error not monotone in σ: %v %v %v",
+			clean.LogitError, mid.LogitError, loud.LogitError)
+	}
+	if clean.FlipRate > loud.FlipRate {
+		t.Errorf("flip rate fell with noise: %v -> %v", clean.FlipRate, loud.FlipRate)
+	}
+}

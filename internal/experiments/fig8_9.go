@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"odin/internal/core"
+	"odin/internal/dnn"
+)
+
+// Fig8Row is one workload's normalised EDP bars.
+type Fig8Row struct {
+	Workload string
+	Dataset  string
+	// EDP per configuration (paper order: 16×16, 16×4, 9×8, 8×4, Odin),
+	// normalised to the workload's 16×16 *inference* EDP.
+	EDP map[string]float64
+	// ReductionVsOdin[name] = EDP(name)/EDP(Odin).
+	ReductionVsOdin map[string]float64
+}
+
+// Fig8Result is the cross-workload EDP comparison.
+type Fig8Result struct {
+	Rows []Fig8Row
+	// MeanReduction[name] is the average over workloads of
+	// EDP(name)/EDP(Odin) — the paper reports 3.9×, 2.5×, 1.5×, 1.9×.
+	MeanReduction map[string]float64
+	// MaxReduction is the largest per-workload reduction (paper: up to 8.7×
+	// across the sensitivity study).
+	MaxReduction float64
+}
+
+// Fig8 runs every zoo workload with Odin and the four homogeneous
+// baselines, applying the leave-one-out bootstrap per workload.
+func Fig8(sys core.System) (Fig8Result, error) {
+	cfg := defaultHorizon()
+	res := Fig8Result{MeanReduction: map[string]float64{}}
+	baselineNames := make([]string, 0, 4)
+	for _, s := range core.StandardBaselineSizes() {
+		baselineNames = append(baselineNames, s.String())
+	}
+
+	for _, model := range dnn.AllWorkloads() {
+		row := Fig8Row{
+			Workload:        model.Name,
+			Dataset:         model.Dataset.Name,
+			EDP:             map[string]float64{},
+			ReductionVsOdin: map[string]float64{},
+		}
+		var norm float64
+		for i, size := range core.StandardBaselineSizes() {
+			wl, err := sys.Prepare(cloneOf(model.Name))
+			if err != nil {
+				return res, err
+			}
+			b, err := core.NewBaseline(sys, wl, size)
+			if err != nil {
+				return res, err
+			}
+			sum := core.SimulateHorizon(b, cfg)
+			if i == 0 {
+				norm = sum.InferenceEDP()
+			}
+			row.EDP[size.String()] = sum.TotalEDP() / norm
+		}
+		ctrl, _, err := bootstrapFor(sys, model)
+		if err != nil {
+			return res, err
+		}
+		odin := core.SimulateHorizon(ctrl, cfg)
+		row.EDP["Odin"] = odin.TotalEDP() / norm
+		for _, name := range baselineNames {
+			red := row.EDP[name] / row.EDP["Odin"]
+			row.ReductionVsOdin[name] = red
+			res.MeanReduction[name] += red
+			if red > res.MaxReduction {
+				res.MaxReduction = red
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for name := range res.MeanReduction {
+		res.MeanReduction[name] /= float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+// cloneOf returns a fresh zoo instance by name (workloads are mutated by
+// pruning, so each runner gets its own copy).
+func cloneOf(name string) *dnn.Model {
+	m, err := dnn.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Render prints the per-workload bars and the headline averages.
+func (r Fig8Result) Render(w io.Writer) {
+	order := []string{"16×16", "16×4", "9×8", "8×4", "Odin"}
+	fmt.Fprintf(w, "Fig. 8: EDP comparison across DNN workloads (normalised to each workload's 16×16 inference EDP)\n")
+	fmt.Fprintf(w, "%-14s %-13s", "Workload", "Dataset")
+	for _, name := range order {
+		fmt.Fprintf(w, "%10s", name)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %-13s", row.Workload, row.Dataset)
+		for _, name := range order {
+			fmt.Fprintf(w, "%10.3f", row.EDP[name])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Average EDP reduction of Odin vs:")
+	for _, name := range order[:4] {
+		fmt.Fprintf(w, "  %s %.1f×", name, r.MeanReduction[name])
+	}
+	fmt.Fprintf(w, "\nMax per-workload reduction: %.1f×\n", r.MaxReduction)
+}
+
+func runFig8(w io.Writer) error {
+	res, err := Fig8(core.DefaultSystem())
+	if err != nil {
+		return err
+	}
+	res.Render(w)
+	return nil
+}
+
+// Fig9Row is one crossbar size's EDP ratios (baseline EDP / Odin EDP).
+type Fig9Row struct {
+	CrossbarSize int
+	Ratios       map[string]float64
+	MaxRatio     float64
+}
+
+// Fig9Result is the crossbar-size sensitivity study on ResNet34.
+type Fig9Result struct {
+	Model string
+	Rows  []Fig9Row
+}
+
+// Fig9 sweeps crossbar sizes 128², 64², 32² (ResNet34 / CIFAR-100).
+func Fig9(base core.System, sizes []int) (Fig9Result, error) {
+	if len(sizes) == 0 {
+		sizes = []int{128, 64, 32}
+	}
+	cfg := defaultHorizon()
+	res := Fig9Result{Model: "ResNet34"}
+	for _, xb := range sizes {
+		sys := base.WithCrossbarSize(xb)
+		row := Fig9Row{CrossbarSize: xb, Ratios: map[string]float64{}}
+
+		ctrl, _, err := bootstrapFor(sys, dnn.NewResNet34())
+		if err != nil {
+			return res, err
+		}
+		odin := core.SimulateHorizon(ctrl, cfg)
+
+		for _, size := range core.StandardBaselineSizes() {
+			if size.R > xb || size.C > xb {
+				continue // configuration does not fit this crossbar
+			}
+			wl, err := sys.Prepare(dnn.NewResNet34())
+			if err != nil {
+				return res, err
+			}
+			b, err := core.NewBaseline(sys, wl, size)
+			if err != nil {
+				return res, err
+			}
+			sum := core.SimulateHorizon(b, cfg)
+			ratio := sum.TotalEDP() / odin.TotalEDP()
+			row.Ratios[size.String()] = ratio
+			if ratio > row.MaxRatio {
+				row.MaxRatio = ratio
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the normalised EDP per crossbar size.
+func (r Fig9Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 9: EDP of homogeneous OUs normalised to Odin, %s (CIFAR-100), varying crossbar size\n", r.Model)
+	order := []string{"16×16", "16×4", "9×8", "8×4"}
+	fmt.Fprintf(w, "%-10s", "Crossbar")
+	for _, name := range order {
+		fmt.Fprintf(w, "%10s", name)
+	}
+	fmt.Fprintf(w, "%10s\n", "max")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%dx%-6d", row.CrossbarSize, row.CrossbarSize)
+		for _, name := range order {
+			if v, ok := row.Ratios[name]; ok {
+				fmt.Fprintf(w, "%10.2f", v)
+			} else {
+				fmt.Fprintf(w, "%10s", "-")
+			}
+		}
+		fmt.Fprintf(w, "%10.2f\n", row.MaxRatio)
+	}
+}
+
+func runFig9(w io.Writer) error {
+	res, err := Fig9(core.DefaultSystem(), nil)
+	if err != nil {
+		return err
+	}
+	res.Render(w)
+	return nil
+}

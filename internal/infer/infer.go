@@ -1,0 +1,460 @@
+// Package infer executes small convolutional networks directly on
+// programmed ReRAM crossbar models (internal/reram) — convolution via
+// im2col, each weight matrix tiled across crossbars, every MVM computed
+// through the non-ideal read path (conductance quantisation, drift,
+// IR-drop, optional read noise).
+//
+// It is the repository's empirical counterpart to the analytic accuracy
+// surrogate (internal/accuracy): where the surrogate maps OU size and
+// device age to an accuracy-loss estimate, this engine actually runs
+// inputs through drifted crossbars and measures how often the predicted
+// class flips relative to the ideal execution. The `empirical` experiment
+// uses it to validate the surrogate's monotone structure at device level.
+package infer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"odin/internal/mat"
+	"odin/internal/ou"
+	"odin/internal/reram"
+	"odin/internal/rng"
+)
+
+// OpKind enumerates the network operations the engine executes.
+type OpKind int
+
+const (
+	// OpConv is a 2-D convolution (stride 1, "same" semantics are not
+	// provided — valid padding keeps the arithmetic explicit).
+	OpConv OpKind = iota
+	// OpReLU applies max(0, x) element-wise.
+	OpReLU
+	// OpMaxPool2 is a 2×2, stride-2 max pool.
+	OpMaxPool2
+	// OpFC is a fully connected layer over the flattened tensor.
+	OpFC
+)
+
+// Op is one network operation. Conv and FC ops carry weights.
+type Op struct {
+	Kind OpKind
+
+	// Conv parameters.
+	Kernel      int
+	InChannels  int
+	OutChannels int
+
+	// FC parameters.
+	InDim, OutDim int
+
+	// W holds the weight matrix: conv as (k²·in)×out, FC as in×out.
+	W *mat.Dense
+}
+
+// Tensor is a dense CHW activation tensor.
+type Tensor struct {
+	C, H, W int
+	Data    []float64
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(c, h, w int) *Tensor {
+	return &Tensor{C: c, H: h, W: w, Data: make([]float64, c*h*w)}
+}
+
+// At returns the element at (channel, y, x).
+func (t *Tensor) At(c, y, x int) float64 { return t.Data[(c*t.H+y)*t.W+x] }
+
+// Set assigns the element at (channel, y, x).
+func (t *Tensor) Set(c, y, x int, v float64) { t.Data[(c*t.H+y)*t.W+x] = v }
+
+// Net is a small CNN: ordered ops ending in an FC classifier.
+type Net struct {
+	InC, InH, InW int
+	Ops           []Op
+}
+
+// RandomNet builds a deterministic random-weight CNN:
+// conv(k)→ReLU→pool→conv(k)→pool→FC(classes). Random weights suffice for
+// flip-rate studies — the question is output *stability* under
+// non-idealities, not task accuracy. The classifier sees zero-mean
+// features (no ReLU after the second conv); rectified features share a
+// common activation-energy mode that makes one class win every input,
+// which would blind the study.
+func RandomNet(inC, inH, inW, classes int, seed string) *Net {
+	src := rng.NewFromString(seed)
+	n := &Net{InC: inC, InH: inH, InW: inW}
+	const (
+		k  = 3
+		c1 = 4
+		c2 = 8
+	)
+	randMat := func(rows, cols int) *mat.Dense {
+		w := mat.NewDense(rows, cols)
+		scale := math.Sqrt(2.0 / float64(rows))
+		for i := range w.Data {
+			w.Data[i] = src.NormFloat64() * scale
+		}
+		return w
+	}
+	h, w := inH, inW
+	n.Ops = append(n.Ops,
+		Op{Kind: OpConv, Kernel: k, InChannels: inC, OutChannels: c1, W: randMat(k*k*inC, c1)},
+		Op{Kind: OpReLU},
+		Op{Kind: OpMaxPool2},
+	)
+	h, w = (h-k+1)/2, (w-k+1)/2
+	n.Ops = append(n.Ops,
+		Op{Kind: OpConv, Kernel: k, InChannels: c1, OutChannels: c2, W: randMat(k*k*c1, c2)},
+		Op{Kind: OpMaxPool2},
+	)
+	h, w = (h-k+1)/2, (w-k+1)/2
+	flat := c2 * h * w
+	n.Ops = append(n.Ops, Op{Kind: OpFC, InDim: flat, OutDim: classes, W: randMat(flat, classes)})
+	return n
+}
+
+// Engine holds the crossbar-programmed network.
+type Engine struct {
+	net    *Net
+	device reram.DeviceParams
+	size   int // crossbar dimension
+
+	// banks[i] is the crossbar tiling of op i's weight matrix (nil for
+	// weight-less ops).
+	banks []*bank
+}
+
+// bank tiles one weight matrix over crossbars.
+type bank struct {
+	rows, cols int
+	rowTiles   int
+	colTiles   int
+	xbars      [][]*reram.Crossbar // [rowTile][colTile]
+}
+
+// NewEngine programs the network's weights into crossbars of the given
+// dimension at simulation time 0.
+func NewEngine(net *Net, device reram.DeviceParams, crossbarSize int) (*Engine, error) {
+	if crossbarSize < 4 {
+		return nil, fmt.Errorf("infer: crossbar size %d too small", crossbarSize)
+	}
+	e := &Engine{net: net, device: device, size: crossbarSize}
+	for i, op := range net.Ops {
+		if op.W == nil {
+			e.banks = append(e.banks, nil)
+			continue
+		}
+		b, err := e.program(i, op.W)
+		if err != nil {
+			return nil, err
+		}
+		e.banks = append(e.banks, b)
+	}
+	return e, nil
+}
+
+func (e *Engine) program(opIdx int, w *mat.Dense) (*bank, error) {
+	b := &bank{
+		rows:     w.Rows,
+		cols:     w.Cols,
+		rowTiles: (w.Rows + e.size - 1) / e.size,
+		colTiles: (w.Cols + e.size - 1) / e.size,
+	}
+	for rt := 0; rt < b.rowTiles; rt++ {
+		var row []*reram.Crossbar
+		for ct := 0; ct < b.colTiles; ct++ {
+			r0, c0 := rt*e.size, ct*e.size
+			rN, cN := min(e.size, w.Rows-r0), min(e.size, w.Cols-c0)
+			block := mat.NewDense(rN, cN)
+			for i := 0; i < rN; i++ {
+				for j := 0; j < cN; j++ {
+					block.Set(i, j, w.At(r0+i, c0+j))
+				}
+			}
+			x := reram.NewCrossbar(e.size, e.device)
+			// Distinct labels decorrelate each array's device variation.
+			x.SeedLabel = fmt.Sprintf("op%d/r%d/c%d", opIdx, rt, ct)
+			x.Program(block, 0)
+			row = append(row, x)
+		}
+		b.xbars = append(b.xbars, row)
+	}
+	return b, nil
+}
+
+// Options control one inference.
+type Options struct {
+	OU      ou.Size // active OU (degrades reads); zero value = full array
+	SimTime float64 // device age driving drift
+	Ideal   bool    // bypass all non-idealities (reference execution)
+
+	NoiseSigma float64 // relative read-noise σ (0 = none)
+	Noise      *rng.Source
+}
+
+// mvm computes xᵀ·W through the bank (summing row-tile partials).
+func (e *Engine) mvm(b *bank, x []float64, opts Options) []float64 {
+	if len(x) != b.rows {
+		panic(fmt.Sprintf("infer: input length %d, want %d", len(x), b.rows))
+	}
+	out := make([]float64, b.cols)
+	buf := make([]float64, e.size)
+	for rt := 0; rt < b.rowTiles; rt++ {
+		r0 := rt * e.size
+		rN := min(e.size, b.rows-r0)
+		for i := range buf {
+			buf[i] = 0
+		}
+		copy(buf[:rN], x[r0:r0+rN])
+		for ct := 0; ct < b.colTiles; ct++ {
+			xbar := b.xbars[rt][ct]
+			var partial []float64
+			if opts.Ideal {
+				partial = xbar.IdealMVM(buf)
+			} else {
+				partial = xbar.MVM(buf, reram.MVMOptions{
+					OURows: opts.OU.R, OUCols: opts.OU.C,
+					SimTime:    opts.SimTime,
+					NoiseSigma: opts.NoiseSigma,
+					Noise:      opts.Noise,
+				})
+			}
+			c0 := ct * e.size
+			cN := min(e.size, b.cols-c0)
+			for j := 0; j < cN; j++ {
+				out[c0+j] += partial[j]
+			}
+		}
+	}
+	return out
+}
+
+// Infer runs one input through the network and returns the logits.
+func (e *Engine) Infer(input *Tensor, opts Options) []float64 {
+	if input.C != e.net.InC || input.H != e.net.InH || input.W != e.net.InW {
+		panic(fmt.Sprintf("infer: input %dx%dx%d, want %dx%dx%d",
+			input.C, input.H, input.W, e.net.InC, e.net.InH, e.net.InW))
+	}
+	cur := input
+	for i, op := range e.net.Ops {
+		switch op.Kind {
+		case OpConv:
+			cur = e.conv(op, e.banks[i], cur, opts)
+		case OpReLU:
+			next := NewTensor(cur.C, cur.H, cur.W)
+			for k, v := range cur.Data {
+				if v > 0 {
+					next.Data[k] = v
+				}
+			}
+			cur = next
+		case OpMaxPool2:
+			cur = maxPool2(cur)
+		case OpFC:
+			flat := cur.Data
+			out := e.mvm(e.banks[i], flat, opts)
+			cur = &Tensor{C: len(out), H: 1, W: 1, Data: out}
+		default:
+			panic(fmt.Sprintf("infer: unknown op kind %d", op.Kind))
+		}
+	}
+	return cur.Data
+}
+
+// conv executes a valid-padding stride-1 convolution via im2col MVMs.
+func (e *Engine) conv(op Op, b *bank, in *Tensor, opts Options) *Tensor {
+	outH := in.H - op.Kernel + 1
+	outW := in.W - op.Kernel + 1
+	out := NewTensor(op.OutChannels, outH, outW)
+	patch := make([]float64, op.Kernel*op.Kernel*op.InChannels)
+	for y := 0; y < outH; y++ {
+		for x := 0; x < outW; x++ {
+			idx := 0
+			for c := 0; c < op.InChannels; c++ {
+				for ky := 0; ky < op.Kernel; ky++ {
+					for kx := 0; kx < op.Kernel; kx++ {
+						patch[idx] = in.At(c, y+ky, x+kx)
+						idx++
+					}
+				}
+			}
+			logits := e.mvm(b, patch, opts)
+			for oc := 0; oc < op.OutChannels; oc++ {
+				out.Set(oc, y, x, logits[oc])
+			}
+		}
+	}
+	return out
+}
+
+func maxPool2(in *Tensor) *Tensor {
+	outH, outW := in.H/2, in.W/2
+	out := NewTensor(in.C, outH, outW)
+	for c := 0; c < in.C; c++ {
+		for y := 0; y < outH; y++ {
+			for x := 0; x < outW; x++ {
+				m := in.At(c, 2*y, 2*x)
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						if v := in.At(c, 2*y+dy, 2*x+dx); v > m {
+							m = v
+						}
+					}
+				}
+				out.Set(c, y, x, m)
+			}
+		}
+	}
+	return out
+}
+
+// Reprogram rewrites every crossbar at simTime, resetting drift, and
+// returns the total write energy.
+func (e *Engine) Reprogram(simTime float64) float64 {
+	var energy float64
+	for _, b := range e.banks {
+		if b == nil {
+			continue
+		}
+		for _, row := range b.xbars {
+			for _, x := range row {
+				eJ, _ := x.Reprogram(simTime)
+				energy += eJ
+			}
+		}
+	}
+	return energy
+}
+
+// Classify returns the argmax class of the logits for the input.
+func (e *Engine) Classify(input *Tensor, opts Options) int {
+	return mat.ArgMax(e.Infer(input, opts))
+}
+
+// FlipRate runs every input through both the ideal and the non-ideal path
+// and returns the fraction whose predicted class changed — the empirical
+// accuracy-impact measure.
+func (e *Engine) FlipRate(inputs []*Tensor, opts Options) float64 {
+	if len(inputs) == 0 {
+		return 0
+	}
+	flips := 0
+	for _, in := range inputs {
+		ideal := e.Classify(in, Options{Ideal: true})
+		noisy := e.Classify(in, opts)
+		if ideal != noisy {
+			flips++
+		}
+	}
+	return float64(flips) / float64(len(inputs))
+}
+
+// MeanLogitError returns the mean (over inputs) L2 deviation between the
+// unit-normalised non-ideal and ideal logit vectors — a continuous
+// accuracy-impact measure that resolves trends even when argmax flips are
+// rare. Normalisation removes the uniform output shrink that drift causes
+// (which any ADC-reference calibration absorbs and which cannot change the
+// argmax); what remains is the *direction* distortion that flips classes.
+func (e *Engine) MeanLogitError(inputs []*Tensor, opts Options) float64 {
+	if len(inputs) == 0 {
+		return 0
+	}
+	normalise := func(v []float64) []float64 {
+		n := mat.Norm2(v)
+		if n == 0 {
+			return v
+		}
+		out := make([]float64, len(v))
+		for i := range v {
+			out[i] = v[i] / n
+		}
+		return out
+	}
+	var total float64
+	for _, in := range inputs {
+		ideal := normalise(e.Infer(in, Options{Ideal: true}))
+		noisy := normalise(e.Infer(in, opts))
+		var num float64
+		for i := range ideal {
+			d := noisy[i] - ideal[i]
+			num += d * d
+		}
+		total += math.Sqrt(num)
+	}
+	return total / float64(len(inputs))
+}
+
+// Margin returns the ideal-execution decision margin of an input: the gap
+// between the top two logits normalised by the logit magnitude. Small
+// margins mark inputs near decision boundaries — the ones non-idealities
+// flip first.
+func (e *Engine) Margin(in *Tensor) float64 {
+	logits := e.Infer(in, Options{Ideal: true})
+	if len(logits) < 2 {
+		return math.Inf(1)
+	}
+	best, second := math.Inf(-1), math.Inf(-1)
+	for _, v := range logits {
+		switch {
+		case v > best:
+			second, best = best, v
+		case v > second:
+			second = v
+		}
+	}
+	n := mat.Norm2(logits)
+	if n == 0 {
+		return 0
+	}
+	return (best - second) / n
+}
+
+// HardestInputs returns the n inputs with the smallest ideal decision
+// margins — a boundary-heavy evaluation set for flip-rate studies.
+func (e *Engine) HardestInputs(candidates []*Tensor, n int) []*Tensor {
+	type scored struct {
+		t *Tensor
+		m float64
+	}
+	all := make([]scored, len(candidates))
+	for i, c := range candidates {
+		all[i] = scored{c, e.Margin(c)}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].m < all[j].m })
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]*Tensor, n)
+	for i := range out {
+		out[i] = all[i].t
+	}
+	return out
+}
+
+// RandomInputs generates deterministic random input tensors. Values are
+// standard normal (zero-mean): all-positive inputs make every random
+// network collapse onto one winning class, which would blind flip-rate
+// studies.
+func RandomInputs(n, c, h, w int, seed string) []*Tensor {
+	src := rng.NewFromString(seed)
+	out := make([]*Tensor, n)
+	for i := range out {
+		t := NewTensor(c, h, w)
+		for k := range t.Data {
+			t.Data[k] = src.NormFloat64()
+		}
+		out[i] = t
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

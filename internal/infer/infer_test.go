@@ -1,0 +1,175 @@
+package infer
+
+import (
+	"testing"
+
+	"odin/internal/ou"
+	"odin/internal/reram"
+)
+
+func fineDevice() reram.DeviceParams {
+	p := reram.DefaultDeviceParams()
+	p.BitsPerCell = 6 // fine quantisation so the ideal path tracks float math
+	return p
+}
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	net := RandomNet(1, 16, 16, 4, "infer-test")
+	e, err := NewEngine(net, fineDevice(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineShapes(t *testing.T) {
+	e := testEngine(t)
+	in := RandomInputs(1, 1, 16, 16, "in")[0]
+	logits := e.Infer(in, Options{Ideal: true})
+	if len(logits) != 4 {
+		t.Fatalf("logits = %d, want 4 classes", len(logits))
+	}
+}
+
+func TestEngineRejectsBadCrossbar(t *testing.T) {
+	net := RandomNet(1, 16, 16, 4, "x")
+	if _, err := NewEngine(net, fineDevice(), 2); err == nil {
+		t.Fatal("crossbar size 2 accepted")
+	}
+}
+
+func TestInferPanicsOnWrongInput(t *testing.T) {
+	e := testEngine(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong input shape did not panic")
+		}
+	}()
+	e.Infer(NewTensor(1, 8, 8), Options{Ideal: true})
+}
+
+func TestIdealDeterministic(t *testing.T) {
+	e := testEngine(t)
+	in := RandomInputs(1, 1, 16, 16, "det")[0]
+	a := e.Infer(in, Options{Ideal: true})
+	b := e.Infer(in, Options{Ideal: true})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ideal inference not deterministic")
+		}
+	}
+}
+
+func TestFreshDeviceTracksIdeal(t *testing.T) {
+	// At t=0 with a small OU the non-ideal path should rarely flip classes.
+	e := testEngine(t)
+	inputs := RandomInputs(30, 1, 16, 16, "fresh")
+	rate := e.FlipRate(inputs, Options{OU: ou.Size{R: 8, C: 8}, SimTime: 0})
+	if rate > 0.2 {
+		t.Fatalf("fresh-device flip rate %v too high", rate)
+	}
+}
+
+func TestFlipRateGrowsWithAge(t *testing.T) {
+	e := testEngine(t)
+	inputs := RandomInputs(40, 1, 16, 16, "age")
+	opts := func(tt float64) Options {
+		return Options{OU: ou.Size{R: 16, C: 16}, SimTime: tt}
+	}
+	fresh := e.FlipRate(inputs, opts(0))
+	aged := e.FlipRate(inputs, opts(1e6))
+	ancient := e.FlipRate(inputs, opts(1e10))
+	if !(fresh <= aged && aged <= ancient) {
+		t.Fatalf("flip rate not monotone in age: %v, %v, %v", fresh, aged, ancient)
+	}
+	if ancient == 0 {
+		t.Fatal("extreme drift should flip some classifications")
+	}
+}
+
+func TestReprogramRestoresBehaviour(t *testing.T) {
+	e := testEngine(t)
+	inputs := RandomInputs(30, 1, 16, 16, "reprog")
+	const tt = 1e8
+	opts := Options{OU: ou.Size{R: 16, C: 16}, SimTime: tt}
+	agedRate := e.FlipRate(inputs, opts)
+	if energy := e.Reprogram(tt); energy <= 0 {
+		t.Fatal("reprogram energy missing")
+	}
+	freshRate := e.FlipRate(inputs, opts)
+	if freshRate > agedRate {
+		t.Fatalf("reprogramming made things worse: %v -> %v", agedRate, freshRate)
+	}
+	if agedRate > 0 && freshRate >= agedRate {
+		t.Fatalf("reprogramming did not help: %v -> %v", agedRate, freshRate)
+	}
+}
+
+func TestFlipRateEmptyInputs(t *testing.T) {
+	e := testEngine(t)
+	if e.FlipRate(nil, Options{}) != 0 {
+		t.Fatal("empty input set should have zero flip rate")
+	}
+}
+
+func TestTensorAccessors(t *testing.T) {
+	tt := NewTensor(2, 3, 4)
+	tt.Set(1, 2, 3, 7)
+	if tt.At(1, 2, 3) != 7 {
+		t.Fatal("tensor accessor wrong")
+	}
+	if len(tt.Data) != 24 {
+		t.Fatalf("tensor storage = %d, want 24", len(tt.Data))
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	in := NewTensor(1, 4, 4)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			in.Set(0, y, x, float64(y*4+x))
+		}
+	}
+	out := maxPool2(in)
+	if out.H != 2 || out.W != 2 {
+		t.Fatalf("pool output %dx%d", out.H, out.W)
+	}
+	// Each 2×2 window's max is its bottom-right element.
+	want := [][]float64{{5, 7}, {13, 15}}
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			if out.At(0, y, x) != want[y][x] {
+				t.Fatalf("pool(0,%d,%d) = %v, want %v", y, x, out.At(0, y, x), want[y][x])
+			}
+		}
+	}
+}
+
+func TestRandomInputsDeterministic(t *testing.T) {
+	a := RandomInputs(2, 1, 4, 4, "s")
+	b := RandomInputs(2, 1, 4, 4, "s")
+	for i := range a {
+		for k := range a[i].Data {
+			if a[i].Data[k] != b[i].Data[k] {
+				t.Fatal("inputs not deterministic")
+			}
+		}
+	}
+}
+
+func TestRandomNetLayerWiring(t *testing.T) {
+	net := RandomNet(3, 16, 16, 10, "wiring")
+	// conv(3,3→4), relu, pool, conv(3,4→8), pool, fc.
+	if len(net.Ops) != 6 {
+		t.Fatalf("ops = %d, want 6", len(net.Ops))
+	}
+	fc := net.Ops[5]
+	// 16→14→7→5→2 spatial; 8 channels → 32 flat inputs.
+	if fc.Kind != OpFC || fc.InDim != 8*2*2 || fc.OutDim != 10 {
+		t.Fatalf("fc wiring wrong: %+v", fc)
+	}
+	if fc.W.Rows != fc.InDim || fc.W.Cols != fc.OutDim {
+		t.Fatalf("fc weights %dx%d", fc.W.Rows, fc.W.Cols)
+	}
+}

@@ -1,0 +1,489 @@
+// Package mlp implements a small, dependency-free multi-layer perceptron
+// with an arbitrary number of independent softmax output heads.
+//
+// The Odin OU-configuration policy (paper §III.A) is "a multi-output MLP
+// classifier ... one input layer (4 neurons) with the ReLU activation and two
+// separate output layers (6 neurons each) with the softmax activation": a
+// shared ReLU trunk feeding two 6-way heads that independently classify the
+// OU height level (R) and width level (C). Go has no ML ecosystem to lean
+// on, so the full stack — forward pass, backprop, cross-entropy over multiple
+// heads, SGD with momentum, and Adam — is implemented here from scratch and
+// verified against numerical gradients in the tests.
+package mlp
+
+import (
+	"fmt"
+	"math"
+
+	"odin/internal/mat"
+	"odin/internal/rng"
+)
+
+// Config describes a network: InputDim inputs, a ReLU hidden trunk with the
+// given widths, and one linear+softmax head per entry of Heads.
+type Config struct {
+	InputDim int
+	Hidden   []int // hidden layer widths; may be empty (linear heads on input)
+	Heads    []int // output class counts, one per head; must be non-empty
+	Seed     uint64
+}
+
+func (c Config) validate() error {
+	if c.InputDim <= 0 {
+		return fmt.Errorf("mlp: InputDim must be positive, got %d", c.InputDim)
+	}
+	if len(c.Heads) == 0 {
+		return fmt.Errorf("mlp: at least one output head required")
+	}
+	for i, h := range c.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("mlp: hidden layer %d has non-positive width %d", i, h)
+		}
+	}
+	for i, h := range c.Heads {
+		if h <= 0 {
+			return fmt.Errorf("mlp: head %d has non-positive class count %d", i, h)
+		}
+	}
+	return nil
+}
+
+// linear is a fully connected layer y = W·x + b.
+type linear struct {
+	W *mat.Dense
+	B []float64
+}
+
+func newLinear(in, out int, src *rng.Source) *linear {
+	l := &linear{W: mat.NewDense(out, in), B: make([]float64, out)}
+	// He initialisation, appropriate for ReLU trunks.
+	scale := math.Sqrt(2.0 / float64(in))
+	for i := range l.W.Data {
+		l.W.Data[i] = src.NormFloat64() * scale
+	}
+	return l
+}
+
+func (l *linear) clone() *linear {
+	c := &linear{W: l.W.Clone(), B: make([]float64, len(l.B))}
+	copy(c.B, l.B)
+	return c
+}
+
+func (l *linear) zeroLike() *linear {
+	return &linear{W: mat.NewDense(l.W.Rows, l.W.Cols), B: make([]float64, len(l.B))}
+}
+
+// Network is a trained or trainable MLP. Create one with New; the zero value
+// is not usable.
+type Network struct {
+	cfg   Config
+	trunk []*linear
+	heads []*linear
+}
+
+// New builds a network with He-initialised weights drawn from the config
+// seed. It panics if the config is invalid (a construction-time programming
+// error, not a runtime condition).
+func New(cfg Config) *Network {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	src := rng.New(cfg.Seed ^ 0x6f64696e6d6c70) // decorrelate from other subsystems
+	n := &Network{cfg: cfg}
+	in := cfg.InputDim
+	for _, h := range cfg.Hidden {
+		n.trunk = append(n.trunk, newLinear(in, h, src))
+		in = h
+	}
+	for _, h := range cfg.Heads {
+		n.heads = append(n.heads, newLinear(in, h, src))
+	}
+	return n
+}
+
+// Config returns the configuration the network was built with.
+func (n *Network) Config() Config { return n.cfg }
+
+// Clone returns an independent deep copy of the network.
+func (n *Network) Clone() *Network {
+	c := &Network{cfg: n.cfg}
+	for _, l := range n.trunk {
+		c.trunk = append(c.trunk, l.clone())
+	}
+	for _, l := range n.heads {
+		c.heads = append(c.heads, l.clone())
+	}
+	return c
+}
+
+// NumParams returns the total number of trainable scalars.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range append(append([]*linear{}, n.trunk...), n.heads...) {
+		total += len(l.W.Data) + len(l.B)
+	}
+	return total
+}
+
+// forward runs the trunk and returns every post-activation (index 0 is the
+// input itself) plus the raw logits per head.
+func (n *Network) forward(input []float64) (acts [][]float64, logits [][]float64) {
+	if len(input) != n.cfg.InputDim {
+		panic(fmt.Sprintf("mlp: input length %d, want %d", len(input), n.cfg.InputDim))
+	}
+	acts = make([][]float64, len(n.trunk)+1)
+	acts[0] = input
+	h := input
+	for i, l := range n.trunk {
+		z := l.W.MulVec(h, nil)
+		for j := range z {
+			z[j] += l.B[j]
+			if z[j] < 0 { // ReLU
+				z[j] = 0
+			}
+		}
+		acts[i+1] = z
+		h = z
+	}
+	logits = make([][]float64, len(n.heads))
+	for k, l := range n.heads {
+		z := l.W.MulVec(h, nil)
+		for j := range z {
+			z[j] += l.B[j]
+		}
+		logits[k] = z
+	}
+	return acts, logits
+}
+
+// Predict returns per-head softmax probability vectors for the input.
+func (n *Network) Predict(input []float64) [][]float64 {
+	_, logits := n.forward(input)
+	probs := make([][]float64, len(logits))
+	for k, z := range logits {
+		probs[k] = mat.Softmax(z, nil)
+	}
+	return probs
+}
+
+// Classify returns the arg-max class per head.
+func (n *Network) Classify(input []float64) []int {
+	_, logits := n.forward(input)
+	out := make([]int, len(logits))
+	for k, z := range logits {
+		out[k] = mat.ArgMax(z)
+	}
+	return out
+}
+
+// Example is one supervised training pair: an input vector and one target
+// class index per head.
+type Example struct {
+	Input   []float64
+	Targets []int
+}
+
+func (n *Network) checkExample(e Example) error {
+	if len(e.Input) != n.cfg.InputDim {
+		return fmt.Errorf("mlp: example input length %d, want %d", len(e.Input), n.cfg.InputDim)
+	}
+	if len(e.Targets) != len(n.cfg.Heads) {
+		return fmt.Errorf("mlp: example has %d targets, want %d", len(e.Targets), len(n.cfg.Heads))
+	}
+	for k, tgt := range e.Targets {
+		if tgt < 0 || tgt >= n.cfg.Heads[k] {
+			return fmt.Errorf("mlp: head %d target %d out of range [0,%d)", k, tgt, n.cfg.Heads[k])
+		}
+	}
+	return nil
+}
+
+// Loss returns the mean (over examples) summed (over heads) cross-entropy.
+func (n *Network) Loss(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	var total float64
+	for _, e := range examples {
+		if err := n.checkExample(e); err != nil {
+			panic(err)
+		}
+		_, logits := n.forward(e.Input)
+		for k, z := range logits {
+			p := mat.Softmax(z, nil)
+			total += -math.Log(math.Max(p[e.Targets[k]], 1e-300))
+		}
+	}
+	return total / float64(len(examples))
+}
+
+// grads mirrors the network's parameter shapes.
+type grads struct {
+	trunk []*linear
+	heads []*linear
+}
+
+func (n *Network) newGrads() *grads {
+	g := &grads{}
+	for _, l := range n.trunk {
+		g.trunk = append(g.trunk, l.zeroLike())
+	}
+	for _, l := range n.heads {
+		g.heads = append(g.heads, l.zeroLike())
+	}
+	return g
+}
+
+func (g *grads) zero() {
+	for _, l := range append(append([]*linear{}, g.trunk...), g.heads...) {
+		l.W.Zero()
+		for i := range l.B {
+			l.B[i] = 0
+		}
+	}
+}
+
+// accumulate adds ∂loss/∂θ for a single example into g and returns that
+// example's loss.
+func (n *Network) accumulate(e Example, g *grads) float64 {
+	acts, logits := n.forward(e.Input)
+	top := acts[len(acts)-1] // trunk output (or raw input when no hidden layers)
+
+	var loss float64
+	// dTop accumulates the gradient flowing back into the trunk output from
+	// every head.
+	dTop := make([]float64, len(top))
+	for k, z := range logits {
+		p := mat.Softmax(z, nil)
+		loss += -math.Log(math.Max(p[e.Targets[k]], 1e-300))
+		// dLogits = p - onehot(target)
+		dz := p // reuse; p is a fresh slice from Softmax
+		dz[e.Targets[k]] -= 1
+		g.heads[k].W.AddOuterScaled(1, dz, top)
+		for j := range dz {
+			g.heads[k].B[j] += dz[j]
+		}
+		back := n.heads[k].W.MulVecT(dz, nil)
+		for j := range dTop {
+			dTop[j] += back[j]
+		}
+	}
+
+	// Backprop through the ReLU trunk.
+	d := dTop
+	for i := len(n.trunk) - 1; i >= 0; i-- {
+		out := acts[i+1]
+		for j := range d {
+			if out[j] <= 0 { // ReLU derivative
+				d[j] = 0
+			}
+		}
+		g.trunk[i].W.AddOuterScaled(1, d, acts[i])
+		for j := range d {
+			g.trunk[i].B[j] += d[j]
+		}
+		if i > 0 {
+			d = n.trunk[i].W.MulVecT(d, nil)
+		}
+	}
+	return loss
+}
+
+// Optimizer selects the parameter-update rule used by Train.
+type Optimizer int
+
+const (
+	// SGD is stochastic gradient descent with momentum.
+	SGD Optimizer = iota
+	// Adam is the Adam rule (Kingma & Ba) with the usual defaults.
+	Adam
+)
+
+// TrainOptions configures Train. Zero values get sensible defaults.
+type TrainOptions struct {
+	Epochs       int       // default 100 (the paper trains the policy 100 epochs per update)
+	LearningRate float64   // default 0.05 for SGD, 0.01 for Adam
+	Momentum     float64   // SGD momentum, default 0.9
+	BatchSize    int       // default: full batch
+	L2           float64   // weight decay coefficient, default 0
+	Optimizer    Optimizer // default SGD
+	Seed         uint64    // shuffling seed, default 1
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs == 0 {
+		o.Epochs = 100
+	}
+	if o.LearningRate == 0 {
+		if o.Optimizer == Adam {
+			o.LearningRate = 0.01
+		} else {
+			o.LearningRate = 0.05
+		}
+	}
+	if o.Momentum == 0 && o.Optimizer == SGD {
+		o.Momentum = 0.9
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// TrainStats summarises a Train call.
+type TrainStats struct {
+	Epochs    int
+	FinalLoss float64
+	FirstLoss float64
+}
+
+// Train fits the network to the examples and reports first/final epoch mean
+// loss. Training is deterministic given the options' seed.
+func (n *Network) Train(examples []Example, opts TrainOptions) TrainStats {
+	if len(examples) == 0 {
+		return TrainStats{}
+	}
+	for _, e := range examples {
+		if err := n.checkExample(e); err != nil {
+			panic(err)
+		}
+	}
+	opts = opts.withDefaults()
+	batch := opts.BatchSize
+	if batch <= 0 || batch > len(examples) {
+		batch = len(examples)
+	}
+	g := n.newGrads()
+	var vel, m1, m2 *grads
+	switch opts.Optimizer {
+	case SGD:
+		vel = n.newGrads()
+	case Adam:
+		m1, m2 = n.newGrads(), n.newGrads()
+	}
+	src := rng.New(opts.Seed)
+	stats := TrainStats{Epochs: opts.Epochs}
+	adamStep := 0
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		order := src.Perm(len(examples))
+		var epochLoss float64
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			g.zero()
+			for _, idx := range order[start:end] {
+				epochLoss += n.accumulate(examples[idx], g)
+			}
+			scale := 1.0 / float64(end-start)
+			switch opts.Optimizer {
+			case SGD:
+				n.applySGD(g, vel, scale, opts)
+			case Adam:
+				adamStep++
+				n.applyAdam(g, m1, m2, scale, adamStep, opts)
+			}
+		}
+		meanLoss := epochLoss / float64(len(examples))
+		if epoch == 0 {
+			stats.FirstLoss = meanLoss
+		}
+		stats.FinalLoss = meanLoss
+	}
+	return stats
+}
+
+func (n *Network) layersWithGrads(g *grads) [][2]*linear {
+	var out [][2]*linear
+	for i, l := range n.trunk {
+		out = append(out, [2]*linear{l, g.trunk[i]})
+	}
+	for i, l := range n.heads {
+		out = append(out, [2]*linear{l, g.heads[i]})
+	}
+	return out
+}
+
+func (n *Network) applySGD(g, vel *grads, scale float64, opts TrainOptions) {
+	velLayers := append(append([]*linear{}, vel.trunk...), vel.heads...)
+	for i, pair := range n.layersWithGrads(g) {
+		param, grad := pair[0], pair[1]
+		v := velLayers[i]
+		for k := range param.W.Data {
+			dw := grad.W.Data[k]*scale + opts.L2*param.W.Data[k]
+			v.W.Data[k] = opts.Momentum*v.W.Data[k] - opts.LearningRate*dw
+			param.W.Data[k] += v.W.Data[k]
+		}
+		for k := range param.B {
+			db := grad.B[k] * scale
+			v.B[k] = opts.Momentum*v.B[k] - opts.LearningRate*db
+			param.B[k] += v.B[k]
+		}
+	}
+}
+
+func (n *Network) applyAdam(g, m1, m2 *grads, scale float64, step int, opts TrainOptions) {
+	const (
+		beta1 = 0.9
+		beta2 = 0.999
+		eps   = 1e-8
+	)
+	bc1 := 1 - math.Pow(beta1, float64(step))
+	bc2 := 1 - math.Pow(beta2, float64(step))
+	m1Layers := append(append([]*linear{}, m1.trunk...), m1.heads...)
+	m2Layers := append(append([]*linear{}, m2.trunk...), m2.heads...)
+	for i, pair := range n.layersWithGrads(g) {
+		param, grad := pair[0], pair[1]
+		a, b := m1Layers[i], m2Layers[i]
+		for k := range param.W.Data {
+			dw := grad.W.Data[k]*scale + opts.L2*param.W.Data[k]
+			a.W.Data[k] = beta1*a.W.Data[k] + (1-beta1)*dw
+			b.W.Data[k] = beta2*b.W.Data[k] + (1-beta2)*dw*dw
+			param.W.Data[k] -= opts.LearningRate * (a.W.Data[k] / bc1) / (math.Sqrt(b.W.Data[k]/bc2) + eps)
+		}
+		for k := range param.B {
+			db := grad.B[k] * scale
+			a.B[k] = beta1*a.B[k] + (1-beta1)*db
+			b.B[k] = beta2*b.B[k] + (1-beta2)*db*db
+			param.B[k] -= opts.LearningRate * (a.B[k] / bc1) / (math.Sqrt(b.B[k]/bc2) + eps)
+		}
+	}
+}
+
+// Gradients computes the mean analytic gradient over the examples and
+// exposes it as flat slices aligned with Parameters(). It exists for
+// gradient-check tests and introspection tooling.
+func (n *Network) Gradients(examples []Example) []float64 {
+	g := n.newGrads()
+	for _, e := range examples {
+		n.accumulate(e, g)
+	}
+	scale := 1.0 / float64(len(examples))
+	var flat []float64
+	for _, l := range append(append([]*linear{}, g.trunk...), g.heads...) {
+		for _, v := range l.W.Data {
+			flat = append(flat, v*scale)
+		}
+		for _, v := range l.B {
+			flat = append(flat, v*scale)
+		}
+	}
+	return flat
+}
+
+// Parameters returns pointers to every trainable scalar, in a stable order
+// matching Gradients. Mutating the pointed-to values changes the network.
+func (n *Network) Parameters() []*float64 {
+	var out []*float64
+	for _, l := range append(append([]*linear{}, n.trunk...), n.heads...) {
+		for i := range l.W.Data {
+			out = append(out, &l.W.Data[i])
+		}
+		for i := range l.B {
+			out = append(out, &l.B[i])
+		}
+	}
+	return out
+}

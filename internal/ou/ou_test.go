@@ -1,0 +1,290 @@
+package ou
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeStringAndProduct(t *testing.T) {
+	s := Size{R: 16, C: 8}
+	if s.String() != "16×8" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if s.Product() != 128 {
+		t.Fatalf("Product = %d", s.Product())
+	}
+	if !s.Valid() || (Size{R: 0, C: 4}).Valid() {
+		t.Fatal("Valid wrong")
+	}
+}
+
+func TestDefaultGrid128(t *testing.T) {
+	g := DefaultGrid(128)
+	if g.Levels() != 6 {
+		t.Fatalf("128-crossbar grid has %d levels, want 6", g.Levels())
+	}
+	if s := g.SizeAt(0, 0); s != (Size{4, 4}) {
+		t.Fatalf("smallest size %v, want 4×4", s)
+	}
+	if s := g.SizeAt(5, 5); s != (Size{128, 128}) {
+		t.Fatalf("largest size %v, want 128×128", s)
+	}
+	if n := len(g.Sizes()); n != 36 {
+		t.Fatalf("grid enumerates %d sizes, want 36", n)
+	}
+}
+
+func TestDefaultGridSmallerCrossbars(t *testing.T) {
+	if g := DefaultGrid(64); g.Levels() != 5 {
+		t.Fatalf("64-crossbar levels = %d, want 5", g.Levels())
+	}
+	if g := DefaultGrid(32); g.Levels() != 4 {
+		t.Fatalf("32-crossbar levels = %d, want 4", g.Levels())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("crossbar size 2 should panic")
+		}
+	}()
+	DefaultGrid(2)
+}
+
+func TestGridIndexRoundTrip(t *testing.T) {
+	g := DefaultGrid(128)
+	for r := 0; r < g.Levels(); r++ {
+		for c := 0; c < g.Levels(); c++ {
+			s := g.SizeAt(r, c)
+			ri, ci, ok := g.IndexOf(s)
+			if !ok || ri != r || ci != c {
+				t.Fatalf("round trip failed for %v: got (%d,%d,%v)", s, ri, ci, ok)
+			}
+		}
+	}
+}
+
+func TestGridIndexOfRejectsOffGrid(t *testing.T) {
+	g := DefaultGrid(128)
+	if _, _, ok := g.IndexOf(Size{9, 8}); ok {
+		t.Fatal("9×8 should not be on the power-of-two grid")
+	}
+	if _, _, ok := g.IndexOf(Size{2, 4}); ok {
+		t.Fatal("R=2 is below the minimum level")
+	}
+}
+
+func TestGridSizeAtPanics(t *testing.T) {
+	g := DefaultGrid(128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range SizeAt did not panic")
+		}
+	}()
+	g.SizeAt(6, 0)
+}
+
+func TestNearestIndex(t *testing.T) {
+	g := DefaultGrid(128)
+	// 9 is closest to 8 (level 1); 100 closest to 128 (level 5).
+	if idx := g.NearestIndex(9); idx != 1 {
+		t.Fatalf("NearestIndex(9) = %d, want 1", idx)
+	}
+	if idx := g.NearestIndex(100); idx != 5 {
+		t.Fatalf("NearestIndex(100) = %d, want 5", idx)
+	}
+}
+
+// constProfile returns a fixed zero-segment fraction regardless of width.
+type constProfile float64
+
+func (p constProfile) SegmentZeroFraction(int) float64 { return float64(p) }
+
+func denseWork() LayerWork {
+	return LayerWork{Xbars: 4, RowsUsed: 128, ColsUsed: 128}
+}
+
+func TestCyclesDenseFullCrossbar(t *testing.T) {
+	w := denseWork()
+	// 128 rows / 16 per step × 128 cols / 16 per group = 8×8 = 64.
+	if got := w.Cycles(Size{16, 16}); got != 64 {
+		t.Fatalf("dense 16×16 cycles = %d, want 64", got)
+	}
+	// Full-crossbar OU = 1 cycle.
+	if got := w.Cycles(Size{128, 128}); got != 1 {
+		t.Fatalf("dense 128×128 cycles = %d, want 1", got)
+	}
+	if got := w.TotalCycles(Size{128, 128}); got != 4 {
+		t.Fatalf("TotalCycles = %d, want 4 (Xbars)", got)
+	}
+}
+
+func TestCyclesSparsitySkipsRows(t *testing.T) {
+	w := denseWork()
+	w.Sparsity = constProfile(0.5)
+	// Half the row segments skip: 64 active rows → 4 row steps × 8 col groups.
+	if got := w.Cycles(Size{16, 16}); got != 32 {
+		t.Fatalf("sparse 16×16 cycles = %d, want 32", got)
+	}
+}
+
+func TestCyclesAllZeroStillOneCycle(t *testing.T) {
+	w := denseWork()
+	w.Sparsity = constProfile(1.0)
+	if got := w.Cycles(Size{16, 16}); got != 8 {
+		// 1 active segment → 1 row step × 8 column groups.
+		t.Fatalf("fully sparse cycles = %d, want 8", got)
+	}
+}
+
+func TestCyclesPartialOccupancy(t *testing.T) {
+	w := LayerWork{Xbars: 1, RowsUsed: 20, ColsUsed: 10}
+	// ceil(20/16)=2 row steps × ceil(10/16)=1 col group.
+	if got := w.Cycles(Size{16, 16}); got != 2 {
+		t.Fatalf("partial occupancy cycles = %d, want 2", got)
+	}
+}
+
+func TestCyclesMonotoneNonIncreasingInOUDims(t *testing.T) {
+	w := denseWork()
+	w.Sparsity = constProfile(0.3)
+	g := DefaultGrid(128)
+	for r := 0; r < g.Levels(); r++ {
+		for c := 0; c < g.Levels(); c++ {
+			s := g.SizeAt(r, c)
+			if r+1 < g.Levels() {
+				if w.Cycles(g.SizeAt(r+1, c)) > w.Cycles(s) {
+					t.Fatalf("cycles increased when growing R from %v", s)
+				}
+			}
+			if c+1 < g.Levels() {
+				if w.Cycles(g.SizeAt(r, c+1)) > w.Cycles(s) {
+					t.Fatalf("cycles increased when growing C from %v", s)
+				}
+			}
+		}
+	}
+}
+
+func TestCyclesPanicsOnBadInput(t *testing.T) {
+	w := denseWork()
+	for _, fn := range []func(){
+		func() { w.Cycles(Size{0, 4}) },
+		func() { (LayerWork{Xbars: 0, RowsUsed: 1, ColsUsed: 1}).Cycles(Size{4, 4}) },
+		func() { (LayerWork{Xbars: 1, RowsUsed: 0, ColsUsed: 1}).Cycles(Size{4, 4}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLatencyMatchesEquationOne(t *testing.T) {
+	m := CostModel{LatencyUnit: 1, EnergyUnit: 1} // unit constants expose the raw formula
+	w := denseWork()
+	s := Size{16, 8}
+	cycles := float64(w.Cycles(s))
+	want := 8 * math.Log2(16) * cycles
+	if got := m.Latency(w, s); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Latency = %v, want %v", got, want)
+	}
+}
+
+func TestEnergyMatchesEquationTwo(t *testing.T) {
+	m := CostModel{LatencyUnit: 1, EnergyUnit: 1}
+	w := denseWork()
+	s := Size{32, 16}
+	cycles := float64(w.Cycles(s))
+	want := 4 * math.Log2(32) * 32 * 16 * cycles
+	if got := m.Energy(w, s); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Energy = %v, want %v", got, want)
+	}
+}
+
+func TestEvaluateConsistentWithSeparateCalls(t *testing.T) {
+	m := DefaultCostModel()
+	w := denseWork()
+	w.Sparsity = constProfile(0.4)
+	for _, s := range DefaultGrid(128).Sizes() {
+		c := m.Evaluate(w, s)
+		if math.Abs(c.Energy-m.Energy(w, s)) > 1e-18 ||
+			math.Abs(c.Latency-m.Latency(w, s)) > 1e-18 {
+			t.Fatalf("Evaluate disagrees with Energy/Latency at %v", s)
+		}
+		if math.Abs(c.EDP()-m.EDP(w, s)) > 1e-30 {
+			t.Fatalf("EDP disagrees at %v", s)
+		}
+	}
+}
+
+func TestCostsPositiveProperty(t *testing.T) {
+	m := DefaultCostModel()
+	f := func(xbars, rows, cols uint8, rIdx, cIdx uint8, sparsity uint8) bool {
+		w := LayerWork{
+			Xbars:    int(xbars%32) + 1,
+			RowsUsed: int(rows%128) + 1,
+			ColsUsed: int(cols%128) + 1,
+			Sparsity: constProfile(float64(sparsity%101) / 100),
+		}
+		g := DefaultGrid(128)
+		s := g.SizeAt(int(rIdx)%g.Levels(), int(cIdx)%g.Levels())
+		c := m.Evaluate(w, s)
+		return c.Energy > 0 && c.Latency > 0 && c.Cycles >= 1 && c.EDP() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyDecreasesWithLargerR(t *testing.T) {
+	// Eq. 1: growing R shrinks cycles faster than log2(R) grows, so latency
+	// should not increase when R doubles on a large dense layer.
+	m := DefaultCostModel()
+	w := denseWork()
+	g := DefaultGrid(128)
+	for c := 0; c < g.Levels(); c++ {
+		prev := math.Inf(1)
+		for r := 0; r < g.Levels(); r++ {
+			lat := m.Latency(w, g.SizeAt(r, c))
+			if lat > prev*1.26 { // log2 growth bound: log2(2R)/log2(R) ≤ 1.5 at R=4; allow slack only above exact halving
+				t.Fatalf("latency grew anomalously at %v: %v -> %v", g.SizeAt(r, c), prev, lat)
+			}
+			prev = lat
+		}
+	}
+}
+
+func TestEnergyIndependentOfCOnDenseAlignedLayer(t *testing.T) {
+	// For a dense 128×128 layer, Eq. 2 energy is invariant in C (cycles halve
+	// as C doubles): a structural identity of the paper's model worth pinning.
+	// Uses a zero-overhead model — the per-cycle control term deliberately
+	// breaks this degeneracy in the default model.
+	m := CostModel{LatencyUnit: 1, EnergyUnit: 1}
+	w := denseWork()
+	g := DefaultGrid(128)
+	base := m.Energy(w, g.SizeAt(2, 0))
+	for c := 1; c < g.Levels(); c++ {
+		e := m.Energy(w, g.SizeAt(2, c))
+		if math.Abs(e-base)/base > 1e-9 {
+			t.Fatalf("dense energy varies with C: %v vs %v", e, base)
+		}
+	}
+}
+
+func TestDenseProfileZero(t *testing.T) {
+	if (DenseProfile{}).SegmentZeroFraction(16) != 0 {
+		t.Fatal("DenseProfile must report zero skippable segments")
+	}
+}
+
+func TestNilSparsityTreatedAsDense(t *testing.T) {
+	w := LayerWork{Xbars: 1, RowsUsed: 64, ColsUsed: 64}
+	wDense := LayerWork{Xbars: 1, RowsUsed: 64, ColsUsed: 64, Sparsity: DenseProfile{}}
+	if w.Cycles(Size{8, 8}) != wDense.Cycles(Size{8, 8}) {
+		t.Fatal("nil profile should behave as dense")
+	}
+}

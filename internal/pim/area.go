@@ -1,0 +1,97 @@
+package pim
+
+import "fmt"
+
+// Component is one row of the Table I tile inventory.
+type Component struct {
+	Name string
+	Spec string
+	Area float64 // mm² at 32 nm
+}
+
+// TileComponents reproduces the paper's Table I inventory for this
+// configuration. Areas are the paper's synthesised 32 nm values, scaled for
+// structural parameters that differ from the default platform (crossbar
+// count/size, ADC count).
+func (a ArchConfig) TileComponents() []Component {
+	def := DefaultArch()
+	xbarScale := float64(a.CrossbarsPerTile) / float64(def.CrossbarsPerTile) *
+		float64(a.CrossbarSize*a.CrossbarSize) / float64(def.CrossbarSize*def.CrossbarSize)
+	adcScale := float64(a.ADCsPerTile) / float64(def.ADCsPerTile)
+	return []Component{
+		{"eDRAM buffer", "size:64KB", 0.083},
+		{"eDRAM bus", "buswidth:384", 0.09},
+		{"Router", "flit:32, port 8", 0.0375},
+		{"Sigmoid, S+A, Maxpool", "number:2,96,1", 0.0038},
+		{"OR, IR", "size:3KB, 2KB", 0.0282},
+		{"OU Control", "number:1", 0.0048},
+		{"ADC (with control)", fmt.Sprintf("number:%d; reconfigurable precision %d to %d bits",
+			a.ADCsPerTile, a.ADCMinBits, a.ADCMaxBits), 0.03 * adcScale},
+		{"DAC, S+H", fmt.Sprintf("number:%d×%d", a.ADCsPerTile, a.CrossbarSize), 0.0025 * adcScale},
+		{"Memristor array", fmt.Sprintf("number:%d, size:%d×%d, bits/cell:%d, OU size: varying",
+			a.CrossbarsPerTile, a.CrossbarSize, a.CrossbarSize, a.BitsPerCell), 0.0024 * xbarScale},
+	}
+}
+
+// TileArea returns the total tile area in mm² (paper: 0.28 mm²).
+func (a ArchConfig) TileArea() float64 {
+	var total float64
+	for _, c := range a.TileComponents() {
+		total += c.Area
+	}
+	return total
+}
+
+// SystemArea returns the full-platform area in mm².
+func (a ArchConfig) SystemArea() float64 {
+	return a.TileArea() * float64(a.TilesPerPE*a.PEs)
+}
+
+// Overheads quantifies the cost of Odin's added hardware (§V.E): the OU/ADC
+// controllers that steer layer-wise OU sizes, and the online-learning engine
+// (policy inference + update on the digital PIM core).
+type Overheads struct {
+	OUControllerArea   float64 // mm² per tile (registers, mux, comparators)
+	OUControllerShare  float64 // fraction of the tile area
+	PredictPower       float64 // W consumed by OU size prediction
+	PredictLatencyPct  float64 // latency penalty vs static 16×16 inference (%)
+	UpdateEnergy       float64 // J per policy update (100 epochs on the buffer)
+	LearningArea       float64 // mm² for the whole online-learning engine
+	LearningAreaShare  float64 // fraction of the system area
+	TrainingBufferSize int     // stored examples per update (paper: 50)
+	TrainingBufferKB   float64 // buffer footprint in KB (paper: 0.35 KB)
+}
+
+// OverheadModel derives the §V.E overheads from the architecture and the
+// policy's parameter count: prediction energy is MACs × a 32 nm
+// energy-per-MAC, update energy is backprop MACs × epochs on the digital
+// PIM core, and controller/learning areas are the synthesised constants.
+func (a ArchConfig) OverheadModel(policyParams, bufferExamples, epochs int) Overheads {
+	const (
+		macEnergy      = 0.9e-12 // J per 8-bit MAC at 32 nm (digital core)
+		trainMACFactor = 3.0     // backprop ≈ 3× forward MACs
+		bytesPerSample = 7       // 4 feature bytes + 2 target bytes + tag
+		// decisionPeriod is the reference interval between OU-size
+		// predictions (one per layer per inference; ≈ a layer's 16×16
+		// inference latency). Prediction power = energy-per-call amortised
+		// over it.
+		decisionPeriod = 2e-6 // s
+	)
+	o := Overheads{
+		OUControllerArea:   0.005,
+		PredictLatencyPct:  0.9,
+		LearningArea:       0.076,
+		TrainingBufferSize: bufferExamples,
+		TrainingBufferKB:   float64(bufferExamples*bytesPerSample) / 1024,
+	}
+	o.OUControllerShare = o.OUControllerArea / a.TileArea()
+	o.LearningAreaShare = o.LearningArea / a.SystemArea()
+	// Prediction: one forward pass per layer decision; the tiny MLP's MAC
+	// energy is spent once per decision period.
+	predictEnergyPerCall := float64(policyParams) * macEnergy
+	o.PredictPower = predictEnergyPerCall / decisionPeriod
+	// Policy update: full-batch backprop over the buffer for `epochs` epochs.
+	o.UpdateEnergy = float64(policyParams) * trainMACFactor *
+		float64(bufferExamples) * float64(epochs) * macEnergy
+	return o
+}

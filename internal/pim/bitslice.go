@@ -1,0 +1,116 @@
+package pim
+
+import (
+	"fmt"
+	"math"
+)
+
+// BitSlicing models how multi-bit MVM is assembled from binary hardware:
+// W-bit weights split across ceil(W/cellBits) cell columns ("weight
+// slices"), A-bit input activations stream bit-serially through the DACs
+// over A cycles ("input slices"), and the partial products recombine in the
+// shift-and-add (S+A) units Table I provisions 96 of per tile. The paper's
+// Eq. 1/2 absorb this machinery into their unit constants; this module
+// breaks it back out so the recombination work and its energy/precision
+// implications can be inspected per layer.
+type BitSlicing struct {
+	WeightBits  int // stored weight precision (platform: 8)
+	BitsPerCell int // platform: 2
+	InputBits   int // DAC-streamed activation precision (platform: 8)
+	ADCBits     int // converter precision for the chosen OU height
+
+	// ShiftAddEnergy is the energy of one S+A accumulate at 32 nm.
+	ShiftAddEnergy float64 // J
+}
+
+// BitSlicingFor derives the slicing plan the platform uses for an OU of
+// height r.
+func (a ArchConfig) BitSlicingFor(r int) BitSlicing {
+	return BitSlicing{
+		WeightBits:     a.WeightBits,
+		BitsPerCell:    a.BitsPerCell,
+		InputBits:      a.InputBits,
+		ADCBits:        a.ADCBits(r),
+		ShiftAddEnergy: 50e-15, // 50 fJ per shift-add accumulate
+	}
+}
+
+// Validate reports whether the plan is consistent.
+func (b BitSlicing) Validate() error {
+	switch {
+	case b.WeightBits < 1 || b.BitsPerCell < 1 || b.InputBits < 1 || b.ADCBits < 1:
+		return fmt.Errorf("pim: non-positive bit widths in %+v", b)
+	case b.BitsPerCell > b.WeightBits:
+		return fmt.Errorf("pim: cell bits %d exceed weight bits %d", b.BitsPerCell, b.WeightBits)
+	}
+	return nil
+}
+
+// WeightSlices returns the number of cell columns holding one weight.
+func (b BitSlicing) WeightSlices() int {
+	return (b.WeightBits + b.BitsPerCell - 1) / b.BitsPerCell
+}
+
+// InputSlices returns the DAC cycles needed to stream one activation.
+func (b BitSlicing) InputSlices() int { return b.InputBits }
+
+// PartialProducts returns the partial results one output value assembles:
+// every (weight slice × input slice) pair produces one ADC sample to
+// shift-and-add.
+func (b BitSlicing) PartialProducts() int { return b.WeightSlices() * b.InputSlices() }
+
+// ShiftAddsPerOutput returns the S+A accumulates per finished output value
+// (one fewer than the partial-product count).
+func (b BitSlicing) ShiftAddsPerOutput() int { return b.PartialProducts() - 1 }
+
+// RecombinationEnergy returns the S+A energy to assemble `outputs` finished
+// values.
+func (b BitSlicing) RecombinationEnergy(outputs int) float64 {
+	return float64(outputs) * float64(b.ShiftAddsPerOutput()) * b.ShiftAddEnergy
+}
+
+// AccumulatorBits returns the register width a finished output needs:
+// ADC bits plus the shift range of the most significant weight and input
+// slices plus log2 of the row-accumulation depth already inside the ADC
+// sample. This is what sizes the output-register (OR) entries of Table I.
+func (b BitSlicing) AccumulatorBits() int {
+	shiftRange := (b.WeightSlices()-1)*b.BitsPerCell + (b.InputSlices() - 1)
+	return b.ADCBits + shiftRange
+}
+
+// QuantizationSNR returns the ideal signal-to-noise ratio (dB) of the ADC
+// sampling a full OU column: 6.02 dB per effective bit. An OU height above
+// 2^ADCBits rows clips — ClippedRows reports how many.
+func (b BitSlicing) QuantizationSNR() float64 {
+	return 6.02 * float64(b.ADCBits)
+}
+
+// ClippedRows returns how many of r concurrently activated rows exceed the
+// ADC's representable accumulation range (0 when the precision covers the
+// OU height — the reconfigurable-ADC design goal).
+func (b BitSlicing) ClippedRows(r int) int {
+	capacity := 1 << b.ADCBits
+	if r <= capacity {
+		return 0
+	}
+	return r - capacity
+}
+
+// SlicedMVMEnergy returns the full per-output energy including ADC samples
+// (energyPerSample each) and recombination — a finer-grained alternative to
+// Eq. 2's lumped form, useful for sanity-checking the unit constants.
+func (b BitSlicing) SlicedMVMEnergy(energyPerSample float64) float64 {
+	samples := float64(b.PartialProducts())
+	return samples*energyPerSample + float64(b.ShiftAddsPerOutput())*b.ShiftAddEnergy
+}
+
+// EffectiveOutputBits returns the usable precision of a finished output
+// after slicing losses: min(accumulator width, weight+input precision +
+// log2(rows)).
+func (b BitSlicing) EffectiveOutputBits(rows int) int {
+	full := b.WeightBits + b.InputBits + int(math.Ceil(math.Log2(float64(rows))))
+	if acc := b.AccumulatorBits(); acc < full {
+		return acc
+	}
+	return full
+}

@@ -1,0 +1,107 @@
+package pim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBitSlicingForPlatform(t *testing.T) {
+	a := DefaultArch()
+	b := a.BitSlicingFor(16)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.WeightSlices() != 4 { // 8-bit weights / 2 bits per cell
+		t.Fatalf("weight slices = %d, want 4", b.WeightSlices())
+	}
+	if b.InputSlices() != 8 {
+		t.Fatalf("input slices = %d, want 8", b.InputSlices())
+	}
+	if b.PartialProducts() != 32 {
+		t.Fatalf("partial products = %d, want 32", b.PartialProducts())
+	}
+	if b.ShiftAddsPerOutput() != 31 {
+		t.Fatalf("shift-adds = %d, want 31", b.ShiftAddsPerOutput())
+	}
+	if b.ADCBits != 4 { // log2(16)
+		t.Fatalf("ADC bits = %d, want 4", b.ADCBits)
+	}
+}
+
+func TestBitSlicingValidation(t *testing.T) {
+	bad := []BitSlicing{
+		{WeightBits: 0, BitsPerCell: 1, InputBits: 1, ADCBits: 1},
+		{WeightBits: 2, BitsPerCell: 4, InputBits: 1, ADCBits: 1},
+		{WeightBits: 8, BitsPerCell: 2, InputBits: 0, ADCBits: 1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestAccumulatorBits(t *testing.T) {
+	b := DefaultArch().BitSlicingFor(16)
+	// ADC 4 bits + (4−1)·2 shift + (8−1) input shift = 17.
+	if got := b.AccumulatorBits(); got != 17 {
+		t.Fatalf("accumulator bits = %d, want 17", got)
+	}
+}
+
+func TestRecombinationEnergyScales(t *testing.T) {
+	b := DefaultArch().BitSlicingFor(16)
+	one := b.RecombinationEnergy(1)
+	hundred := b.RecombinationEnergy(100)
+	if math.Abs(hundred-100*one) > 1e-21 {
+		t.Fatal("recombination energy not linear in outputs")
+	}
+	if one <= 0 {
+		t.Fatal("recombination energy must be positive")
+	}
+}
+
+func TestClippedRows(t *testing.T) {
+	b := DefaultArch().BitSlicingFor(16) // 4-bit ADC covers 16 rows
+	if b.ClippedRows(16) != 0 {
+		t.Fatal("16 rows should fit a 4-bit ADC")
+	}
+	if got := b.ClippedRows(20); got != 4 {
+		t.Fatalf("clipped rows = %d, want 4", got)
+	}
+	// The reconfigurable design keeps every grid height un-clipped up to
+	// the 6-bit ceiling; 128 rows exceed it by 64.
+	b128 := DefaultArch().BitSlicingFor(128)
+	if got := b128.ClippedRows(128); got != 64 {
+		t.Fatalf("128-row clipping = %d, want 64 (6-bit ADC ceiling)", got)
+	}
+}
+
+func TestQuantizationSNR(t *testing.T) {
+	b := DefaultArch().BitSlicingFor(64) // 6 bits
+	if math.Abs(b.QuantizationSNR()-36.12) > 1e-9 {
+		t.Fatalf("SNR = %v dB, want 36.12", b.QuantizationSNR())
+	}
+}
+
+func TestSlicedMVMEnergyComposition(t *testing.T) {
+	b := DefaultArch().BitSlicingFor(16)
+	const perSample = 1e-12
+	got := b.SlicedMVMEnergy(perSample)
+	want := 32*perSample + 31*b.ShiftAddEnergy
+	if math.Abs(got-want) > 1e-21 {
+		t.Fatalf("sliced energy = %v, want %v", got, want)
+	}
+}
+
+func TestEffectiveOutputBits(t *testing.T) {
+	b := DefaultArch().BitSlicingFor(16)
+	// Full precision: 8+8+log2(16) = 20; accumulator caps it at 17.
+	if got := b.EffectiveOutputBits(16); got != 17 {
+		t.Fatalf("effective bits = %d, want 17", got)
+	}
+	// Few rows: full precision fits.
+	if got := b.EffectiveOutputBits(1); got != 16 {
+		t.Fatalf("single-row effective bits = %d, want 16", got)
+	}
+}

@@ -1,0 +1,83 @@
+package policy
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"odin/internal/mlp"
+	"odin/internal/ou"
+)
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	p := New(Config{Grid: ou.DefaultGrid(128), Seed: 11})
+	// Give the policy some learned structure first.
+	g := p.Grid()
+	var examples []Example
+	for i := 0; i < 30; i++ {
+		examples = append(examples, Example{
+			F: Features{LayerIndex: i % 10, LayerCount: 10, Sparsity: 0.4,
+				KernelSize: 3, Time: float64(i * 100)},
+			Target: g.SizeAt(i%6, (i*2)%6),
+		})
+	}
+	if _, err := p.Train(examples, mlp.TrainOptions{Epochs: 50}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Policy
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Grid() != p.Grid() {
+		t.Fatalf("grid changed: %+v vs %+v", back.Grid(), p.Grid())
+	}
+	for _, e := range examples {
+		if back.Predict(e.F) != p.Predict(e.F) {
+			t.Fatal("round-tripped policy predicts differently")
+		}
+	}
+	if back.NumParams() != p.NumParams() {
+		t.Fatal("parameter count changed")
+	}
+}
+
+func TestPolicyJSONSmallGrid(t *testing.T) {
+	p := New(Config{Grid: ou.DefaultGrid(32), Seed: 2})
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Policy
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Grid().Levels() != 4 {
+		t.Fatalf("grid levels = %d, want 4", back.Grid().Levels())
+	}
+}
+
+func TestPolicyUnmarshalRejectsGridMismatch(t *testing.T) {
+	p := New(Config{Grid: ou.DefaultGrid(128), Seed: 3})
+	data, _ := json.Marshal(p)
+	// Claim a smaller grid than the network's 6-way heads support.
+	tampered := strings.Replace(string(data), `"MaxLevel":7`, `"MaxLevel":5`, 1)
+	var back Policy
+	if err := json.Unmarshal([]byte(tampered), &back); err == nil {
+		t.Fatal("grid/head mismatch accepted")
+	}
+}
+
+func TestPolicyUnmarshalRejectsGarbage(t *testing.T) {
+	var back Policy
+	if err := json.Unmarshal([]byte(`{"grid":{"MinLevel":5,"MaxLevel":2}}`), &back); err == nil {
+		t.Fatal("inverted grid accepted")
+	}
+	if err := json.Unmarshal([]byte(`nope`), &back); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}

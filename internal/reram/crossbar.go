@@ -1,0 +1,230 @@
+package reram
+
+import (
+	"fmt"
+	"math"
+
+	"odin/internal/mat"
+	"odin/internal/rng"
+)
+
+// Crossbar is a programmable c×c ReRAM array holding quantised conductances.
+// It supports a reference (dense) non-ideal MVM that includes conductance
+// drift, IR-drop attenuation for the active OU, and optional read noise.
+// The analytic models in internal/ou never instantiate Crossbars — they work
+// from DeviceParams statistics — but the accuracy surrogate calibration and
+// the examples use this type to demonstrate end-to-end behaviour.
+type Crossbar struct {
+	size         int
+	params       DeviceParams
+	g            *mat.Dense // programmed conductances (S)
+	nu           *mat.Dense // per-cell drift coefficients (device variation)
+	weightScale  float64    // |w| represented by GOn
+	signs        *mat.Dense // +1/−1 per cell (differential sign encoding)
+	programmedAt float64    // simulation time of last (re)programming
+	writes       int        // number of programming passes performed
+
+	// SeedLabel decorrelates drift-variation draws between crossbars; set
+	// it before Program for reproducible multi-crossbar systems.
+	SeedLabel string
+}
+
+// NewCrossbar allocates an unprogrammed crossbar. Size must be positive.
+func NewCrossbar(size int, params DeviceParams) *Crossbar {
+	if size <= 0 {
+		panic(fmt.Sprintf("reram: invalid crossbar size %d", size))
+	}
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &Crossbar{
+		size:   size,
+		params: params,
+		g:      mat.NewDense(size, size),
+		nu:     mat.NewDense(size, size),
+		signs:  mat.NewDense(size, size),
+	}
+}
+
+// Size returns the crossbar dimension c (the array is c×c).
+func (x *Crossbar) Size() int { return x.size }
+
+// Params returns the device parameters.
+func (x *Crossbar) Params() DeviceParams { return x.params }
+
+// Writes returns how many programming passes (initial + reprogrammings)
+// the crossbar has seen.
+func (x *Crossbar) Writes() int { return x.writes }
+
+// Program writes the weight block w (rows×cols ≤ size×size) into the array
+// at simulation time simTime. Weights are normalised by the block's max
+// magnitude, quantised to the cell's level count, and stored with a sign
+// plane (modelling the usual differential/positive-negative array pair).
+func (x *Crossbar) Program(w *mat.Dense, simTime float64) {
+	if w.Rows > x.size || w.Cols > x.size {
+		panic(fmt.Sprintf("reram: weight block %dx%d exceeds crossbar %dx%d",
+			w.Rows, w.Cols, x.size, x.size))
+	}
+	x.weightScale = w.MaxAbs()
+	if x.weightScale == 0 {
+		x.weightScale = 1
+	}
+	x.g.Zero()
+	x.signs.Zero()
+	for i := 0; i < w.Rows; i++ {
+		for j := 0; j < w.Cols; j++ {
+			v := w.At(i, j)
+			sign := 1.0
+			if v < 0 {
+				sign = -1
+			}
+			x.signs.Set(i, j, sign)
+			x.g.Set(i, j, x.params.QuantizeToLevel(math.Abs(v)/x.weightScale))
+		}
+	}
+	x.sampleDrift()
+	x.programmedAt = simTime
+	x.writes++
+}
+
+// sampleDrift draws each cell's drift coefficient ν·(1+σ·z). Every
+// programming pass resamples (the filament re-forms), deterministically in
+// (SeedLabel, write count).
+func (x *Crossbar) sampleDrift() {
+	if x.params.DriftSigma == 0 {
+		for i := range x.nu.Data {
+			x.nu.Data[i] = x.params.Nu
+		}
+		return
+	}
+	src := rng.NewFromString(fmt.Sprintf("xbar-drift/%s/%d", x.SeedLabel, x.writes))
+	for i := range x.nu.Data {
+		x.nu.Data[i] = x.params.Nu * (1 + x.params.DriftSigma*src.NormFloat64())
+	}
+}
+
+// Reprogram rewrites the stored pattern, resetting the drift clock, and
+// returns the energy and latency of the pass.
+func (x *Crossbar) Reprogram(simTime float64) (energy, latency float64) {
+	cells := x.programmedCells()
+	x.programmedAt = simTime
+	x.writes++
+	return x.params.ReprogramEnergy(cells), x.params.ReprogramLatency(cells, x.size)
+}
+
+func (x *Crossbar) programmedCells() int {
+	n := 0
+	for _, v := range x.g.Data {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Age returns the drift age of the array at simulation time simTime.
+func (x *Crossbar) Age(simTime float64) float64 {
+	age := simTime - x.programmedAt + x.params.T0
+	if age < x.params.T0 {
+		age = x.params.T0
+	}
+	return age
+}
+
+// MVMOptions controls the reference non-ideal MVM.
+type MVMOptions struct {
+	OURows, OUCols int     // active OU size; 0 means full array
+	SimTime        float64 // current simulation time (drives drift)
+	NoiseSigma     float64 // relative Gaussian read-noise std-dev (0 = none)
+	Noise          *rng.Source
+}
+
+// MVM computes y = Wᵀ·v-style bitline currents under non-idealities: each
+// stored conductance drifts with its own coefficient (device variation),
+// IR-drop attenuates each cell by its wire distance within the active OU
+// (cells far from the drivers see more series resistance), and optional
+// multiplicative Gaussian read noise is applied per cell. The result is
+// de-quantised back to weight units so that it is directly comparable with
+// IdealMVM.
+func (x *Crossbar) MVM(input []float64, opts MVMOptions) []float64 {
+	if len(input) != x.size {
+		panic(fmt.Sprintf("reram: input length %d, want %d", len(input), x.size))
+	}
+	r, c := opts.OURows, opts.OUCols
+	if r <= 0 {
+		r = x.size
+	}
+	if c <= 0 {
+		c = x.size
+	}
+	age := x.Age(opts.SimTime)
+	logAge := math.Log(age / x.params.T0)
+	gRange := x.params.GOn - x.params.GOff
+	out := make([]float64, x.size)
+	for j := 0; j < x.size; j++ {
+		var acc float64
+		for i := 0; i < x.size; i++ {
+			g := x.g.At(i, j)
+			if g == 0 || input[i] == 0 {
+				continue
+			}
+			// Per-cell drift: g·(age/t0)^(−ν_ij).
+			gd := g * math.Exp(-x.nu.At(i, j)*logAge)
+			// Position-dependent IR-drop: series resistance grows with the
+			// cell's distance from the word/bit-line drivers within its OU.
+			dist := float64(i%r+j%c) + 2
+			eff := 1.0 / (1.0/gd + x.params.RWire*dist)
+			if opts.NoiseSigma > 0 && opts.Noise != nil {
+				eff *= 1 + opts.NoiseSigma*opts.Noise.NormFloat64()
+			}
+			// De-quantise: conductance back to normalised weight magnitude.
+			wmag := (eff - x.params.GOff) / gRange
+			if wmag < 0 {
+				wmag = 0
+			}
+			acc += x.signs.At(i, j) * wmag * x.weightScale * input[i]
+		}
+		out[j] = acc
+	}
+	return out
+}
+
+// IdealMVM computes the same product from the quantised weights with no
+// drift, IR-drop, or noise — the "as programmed" reference.
+func (x *Crossbar) IdealMVM(input []float64) []float64 {
+	if len(input) != x.size {
+		panic(fmt.Sprintf("reram: input length %d, want %d", len(input), x.size))
+	}
+	gRange := x.params.GOn - x.params.GOff
+	out := make([]float64, x.size)
+	for j := 0; j < x.size; j++ {
+		var acc float64
+		for i := 0; i < x.size; i++ {
+			g := x.g.At(i, j)
+			if g == 0 || input[i] == 0 {
+				continue
+			}
+			wmag := (g - x.params.GOff) / gRange
+			acc += x.signs.At(i, j) * wmag * x.weightScale * input[i]
+		}
+		out[j] = acc
+	}
+	return out
+}
+
+// RelativeMVMError returns ‖MVM−IdealMVM‖₂ / ‖IdealMVM‖₂ for a given input
+// and options — a convenient scalar for drift/IR-drop studies.
+func (x *Crossbar) RelativeMVMError(input []float64, opts MVMOptions) float64 {
+	ideal := x.IdealMVM(input)
+	noisy := x.MVM(input, opts)
+	var num, den float64
+	for i := range ideal {
+		d := noisy[i] - ideal[i]
+		num += d * d
+		den += ideal[i] * ideal[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}

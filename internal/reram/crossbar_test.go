@@ -1,0 +1,193 @@
+package reram
+
+import (
+	"math"
+	"testing"
+
+	"odin/internal/mat"
+	"odin/internal/rng"
+)
+
+func randomBlock(rows, cols int, seed uint64) *mat.Dense {
+	src := rng.New(seed)
+	w := mat.NewDense(rows, cols)
+	for i := range w.Data {
+		w.Data[i] = src.NormFloat64()
+	}
+	return w
+}
+
+func randomInput(n int, seed uint64) []float64 {
+	src := rng.New(seed)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = src.Float64()
+	}
+	return v
+}
+
+func TestNewCrossbarPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size 0 did not panic")
+		}
+	}()
+	NewCrossbar(0, DefaultDeviceParams())
+}
+
+func TestProgramRejectsOversizedBlock(t *testing.T) {
+	x := NewCrossbar(8, DefaultDeviceParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized block did not panic")
+		}
+	}()
+	x.Program(randomBlock(9, 8, 1), 0)
+}
+
+func TestIdealMVMMatchesQuantisedWeights(t *testing.T) {
+	p := DefaultDeviceParams()
+	p.BitsPerCell = 8 // fine quantisation so the ideal MVM ≈ float MVM
+	x := NewCrossbar(16, p)
+	w := randomBlock(16, 16, 2)
+	x.Program(w, 0)
+	in := randomInput(16, 3)
+	got := x.IdealMVM(in)
+	// Reference: wᵀ·in column-wise.
+	for j := 0; j < 16; j++ {
+		var want float64
+		for i := 0; i < 16; i++ {
+			want += w.At(i, j) * in[i]
+		}
+		if math.Abs(got[j]-want) > 0.02*(1+math.Abs(want)) {
+			t.Fatalf("col %d: ideal MVM %v, float reference %v", j, got[j], want)
+		}
+	}
+}
+
+func TestMVMErrorGrowsWithOUSize(t *testing.T) {
+	x := NewCrossbar(128, DefaultDeviceParams())
+	x.Program(randomBlock(128, 128, 4), 0)
+	in := randomInput(128, 5)
+	prev := -1.0
+	for _, s := range []int{4, 16, 64, 128} {
+		err := x.RelativeMVMError(in, MVMOptions{OURows: s, OUCols: s, SimTime: 0})
+		if err <= prev {
+			t.Fatalf("MVM error not increasing with OU size: size %d err %v prev %v", s, err, prev)
+		}
+		prev = err
+	}
+}
+
+func TestMVMErrorGrowsWithTime(t *testing.T) {
+	x := NewCrossbar(64, DefaultDeviceParams())
+	x.Program(randomBlock(64, 64, 6), 0)
+	in := randomInput(64, 7)
+	prev := -1.0
+	for _, tt := range []float64{0, 100, 1e4, 1e6} {
+		err := x.RelativeMVMError(in, MVMOptions{OURows: 16, OUCols: 16, SimTime: tt})
+		if err <= prev {
+			t.Fatalf("MVM error not increasing with time %v: %v <= %v", tt, err, prev)
+		}
+		prev = err
+	}
+}
+
+func TestReprogramResetsDrift(t *testing.T) {
+	x := NewCrossbar(32, DefaultDeviceParams())
+	x.Program(randomBlock(32, 32, 8), 0)
+	in := randomInput(32, 9)
+	aged := x.RelativeMVMError(in, MVMOptions{OURows: 16, OUCols: 16, SimTime: 1e6})
+	energy, latency := x.Reprogram(1e6)
+	if energy <= 0 || latency <= 0 {
+		t.Fatalf("reprogram cost not positive: E=%v L=%v", energy, latency)
+	}
+	fresh := x.RelativeMVMError(in, MVMOptions{OURows: 16, OUCols: 16, SimTime: 1e6})
+	if fresh >= aged {
+		t.Fatalf("reprogramming did not reduce error: %v -> %v", aged, fresh)
+	}
+	if x.Writes() != 2 {
+		t.Fatalf("Writes = %d, want 2", x.Writes())
+	}
+}
+
+func TestAgeClamping(t *testing.T) {
+	p := DefaultDeviceParams()
+	x := NewCrossbar(8, p)
+	x.Program(randomBlock(8, 8, 10), 100)
+	if age := x.Age(50); age != p.T0 {
+		t.Fatalf("age before programming = %v, want t0", age)
+	}
+	if age := x.Age(100 + 500); math.Abs(age-(500+p.T0)) > 1e-12 {
+		t.Fatalf("age = %v, want %v", age, 500+p.T0)
+	}
+}
+
+func TestMVMNoiseIsZeroMeanish(t *testing.T) {
+	x := NewCrossbar(32, DefaultDeviceParams())
+	x.Program(randomBlock(32, 32, 11), 0)
+	in := randomInput(32, 12)
+	base := x.MVM(in, MVMOptions{OURows: 8, OUCols: 8})
+	noise := rng.New(13)
+	var bias float64
+	const trials = 200
+	for k := 0; k < trials; k++ {
+		noisy := x.MVM(in, MVMOptions{OURows: 8, OUCols: 8, NoiseSigma: 0.02, Noise: noise})
+		for j := range noisy {
+			bias += noisy[j] - base[j]
+		}
+	}
+	bias /= trials * 32
+	if math.Abs(bias) > 0.01 {
+		t.Fatalf("read noise bias %v too large", bias)
+	}
+}
+
+func TestMVMInputLengthPanics(t *testing.T) {
+	x := NewCrossbar(8, DefaultDeviceParams())
+	x.Program(randomBlock(8, 8, 14), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short input did not panic")
+		}
+	}()
+	x.MVM(make([]float64, 7), MVMOptions{})
+}
+
+func TestZeroWeightBlock(t *testing.T) {
+	x := NewCrossbar(8, DefaultDeviceParams())
+	x.Program(mat.NewDense(8, 8), 0) // all zeros must not divide by zero
+	out := x.IdealMVM(randomInput(8, 15))
+	for j, v := range out {
+		// All-zero weights quantise to GOff (> 0), so outputs are small but
+		// finite; NaN/Inf would indicate a normalisation bug.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("output %d is not finite: %v", j, v)
+		}
+	}
+}
+
+func TestRelativeErrorZeroDenominator(t *testing.T) {
+	x := NewCrossbar(4, DefaultDeviceParams())
+	x.Program(randomBlock(4, 4, 16), 0)
+	// Zero input → zero ideal output → error defined as 0.
+	if e := x.RelativeMVMError(make([]float64, 4), MVMOptions{}); e != 0 {
+		t.Fatalf("relative error on zero input = %v, want 0", e)
+	}
+}
+
+func TestPartialBlockProgramming(t *testing.T) {
+	// A 5×3 block in a 16×16 crossbar: unprogrammed cells must not
+	// contribute to MVM outputs.
+	x := NewCrossbar(16, DefaultDeviceParams())
+	w := randomBlock(5, 3, 17)
+	x.Program(w, 0)
+	in := make([]float64, 16)
+	in[10] = 1 // row outside the programmed block
+	out := x.IdealMVM(in)
+	for j, v := range out {
+		if v != 0 {
+			t.Fatalf("unprogrammed row leaked into column %d: %v", j, v)
+		}
+	}
+}

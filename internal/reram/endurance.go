@@ -1,0 +1,56 @@
+package reram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Endurance models ReRAM write wear-out: each cell survives a bounded
+// number of SET/RESET cycles before it can no longer be programmed
+// reliably. Reprogramming passes rewrite every programmed cell, so a
+// configuration's reprogramming cadence directly sets the accelerator's
+// service life — an effect the paper motivates ("device reprogramming ...
+// can introduce high energy overhead") but does not quantify. This
+// extension does.
+type Endurance struct {
+	// WriteLimit is the number of write pulses a cell tolerates. Published
+	// HfO₂ ReRAM endurance ranges 10⁶–10¹⁰; the default is a conservative
+	// embedded-grade 10⁶.
+	WriteLimit float64
+}
+
+// DefaultEndurance returns the conservative default.
+func DefaultEndurance() Endurance { return Endurance{WriteLimit: 1e6} }
+
+// Validate reports whether the spec is usable.
+func (e Endurance) Validate() error {
+	if e.WriteLimit < 1 {
+		return fmt.Errorf("reram: write limit %v must be at least 1", e.WriteLimit)
+	}
+	return nil
+}
+
+// WearFraction returns the fraction of cell endurance consumed by the
+// given number of whole-array reprogramming passes with the device's pulse
+// count.
+func (e Endurance) WearFraction(passes int, p DeviceParams) float64 {
+	return float64(passes) * float64(p.WritePulses) / e.WriteLimit
+}
+
+// Lifetime extrapolates the service life (seconds) of a device that was
+// reprogrammed `passes` times over `horizon` seconds of operation: the time
+// until the write limit is exhausted at the same cadence. A device that
+// never reprograms returns +Inf (retention, not endurance, would bound it).
+func (e Endurance) Lifetime(passes int, horizon float64, p DeviceParams) float64 {
+	if passes <= 0 {
+		return math.Inf(1)
+	}
+	writesPerSecond := float64(passes) * float64(p.WritePulses) / horizon
+	return e.WriteLimit / writesPerSecond
+}
+
+// LifetimeYears is Lifetime converted to years.
+func (e Endurance) LifetimeYears(passes int, horizon float64, p DeviceParams) float64 {
+	const secondsPerYear = 365.25 * 24 * 3600
+	return e.Lifetime(passes, horizon, p) / secondsPerYear
+}

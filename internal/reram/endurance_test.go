@@ -1,0 +1,53 @@
+package reram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultEnduranceValid(t *testing.T) {
+	if err := DefaultEndurance().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Endurance{WriteLimit: 0}).Validate(); err == nil {
+		t.Fatal("zero write limit accepted")
+	}
+}
+
+func TestWearFraction(t *testing.T) {
+	e := Endurance{WriteLimit: 1e6}
+	p := DefaultDeviceParams() // 1 pulse per write
+	if got := e.WearFraction(1000, p); math.Abs(got-1e-3) > 1e-12 {
+		t.Fatalf("wear = %v, want 1e-3", got)
+	}
+	p.WritePulses = 3
+	if got := e.WearFraction(1000, p); math.Abs(got-3e-3) > 1e-12 {
+		t.Fatalf("wear with 3 pulses = %v, want 3e-3", got)
+	}
+}
+
+func TestLifetimeExtrapolation(t *testing.T) {
+	e := Endurance{WriteLimit: 1e6}
+	p := DefaultDeviceParams()
+	// 100 passes over 1e8 s → 1e-6 writes/s → life = 1e12 s.
+	if got := e.Lifetime(100, 1e8, p); math.Abs(got-1e12)/1e12 > 1e-9 {
+		t.Fatalf("lifetime = %v, want 1e12", got)
+	}
+	if !math.IsInf(e.Lifetime(0, 1e8, p), 1) {
+		t.Fatal("zero passes should be retention-bound (infinite endurance life)")
+	}
+	years := e.LifetimeYears(100, 1e8, p)
+	want := 1e12 / (365.25 * 24 * 3600)
+	if math.Abs(years-want)/want > 1e-9 {
+		t.Fatalf("lifetime years = %v, want %v", years, want)
+	}
+}
+
+func TestLifetimeOrdering(t *testing.T) {
+	// Fewer reprograms → strictly longer life at the same horizon.
+	e := DefaultEndurance()
+	p := DefaultDeviceParams()
+	if !(e.Lifetime(2, 1e8, p) > e.Lifetime(200, 1e8, p)) {
+		t.Fatal("lifetime not monotone in reprogram count")
+	}
+}

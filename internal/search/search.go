@@ -1,0 +1,167 @@
+// Package search implements the OU-configuration searches of Algorithm 1,
+// line 6: given a layer's workload, the analytical cost models, and the
+// non-ideality constraint, find the OU size (R×C)* minimising EDP subject
+// to ΔG < η.
+//
+// Two strategies are provided, matching the paper's §V.B comparison:
+//
+//   - Exhaustive (EX): evaluate every size on the discrete grid (36 configs
+//     on a 128×128 crossbar). Highest quality, ~3× the comparator work.
+//   - ResourceBounded (RB): greedy local search seeded at the policy's
+//     prediction, taking at most K (paper: 3) ±1 steps in the level grid
+//     and evaluating only the step neighbourhood — the low-overhead option
+//     Odin uses online.
+//
+// Both report how many candidate evaluations they performed so the §V.B
+// timing-overhead comparison can be reproduced.
+package search
+
+import (
+	"math"
+
+	"odin/internal/accuracy"
+	"odin/internal/ou"
+)
+
+// Objective scores candidate OU sizes for one layer at one point in time.
+type Objective struct {
+	Cost  ou.CostModel
+	Work  ou.LayerWork
+	Acc   accuracy.Model
+	Layer int     // layer index j
+	Of    int     // total layer count
+	Time  float64 // device age (s)
+}
+
+// EDP returns the energy-delay product of the layer at size s.
+func (o Objective) EDP(s ou.Size) float64 { return o.Cost.EDP(o.Work, s) }
+
+// Feasible reports whether s meets the non-ideality constraint at o.Time.
+func (o Objective) Feasible(s ou.Size) bool {
+	return o.Acc.Satisfies(o.Layer, o.Of, s, o.Time)
+}
+
+// NF returns the effective non-ideality of s (used to steer RB search out
+// of infeasible regions).
+func (o Objective) NF(s ou.Size) float64 {
+	return o.Acc.NF(o.Layer, o.Of, s, o.Time)
+}
+
+// ClampFeasible shrinks a (possibly infeasible) starting size to the
+// nearest feasible grid point by repeatedly lowering the larger dimension's
+// level — the "reduce the OU size as the conductance drift increases" move
+// of §III.B. It returns the start unchanged when already feasible, and the
+// smallest grid size when nothing is feasible.
+func ClampFeasible(g ou.Grid, o Objective, start ou.Size) ou.Size {
+	rIdx, cIdx, ok := g.IndexOf(start)
+	if !ok {
+		rIdx, cIdx = g.NearestIndex(start.R), g.NearestIndex(start.C)
+	}
+	for {
+		s := g.SizeAt(rIdx, cIdx)
+		if o.Feasible(s) || (rIdx == 0 && cIdx == 0) {
+			return s
+		}
+		if rIdx >= cIdx && rIdx > 0 {
+			rIdx--
+		} else if cIdx > 0 {
+			cIdx--
+		} else {
+			rIdx--
+		}
+	}
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Best        ou.Size
+	BestEDP     float64
+	Found       bool // false when no evaluated size satisfies the constraint
+	Evaluations int  // candidate evaluations performed (comparator work)
+}
+
+// Exhaustive scans the whole grid and returns the feasible size with the
+// minimum EDP.
+func Exhaustive(g ou.Grid, o Objective) Result {
+	res := Result{BestEDP: math.Inf(1)}
+	for _, s := range g.Sizes() {
+		res.Evaluations++
+		if !o.Feasible(s) {
+			continue
+		}
+		if edp := o.EDP(s); edp < res.BestEDP {
+			res.Best, res.BestEDP, res.Found = s, edp, true
+		}
+	}
+	return res
+}
+
+// ResourceBounded runs the paper's K-step local search from the policy's
+// predicted size. Each step evaluates the four ±1 level neighbours of the
+// current point and moves to the best feasible improvement; from an
+// infeasible point it moves toward lower non-ideality (smaller OUs), the
+// direction Algorithm 1 exploits as drift grows. The start point itself
+// counts as one evaluation.
+func ResourceBounded(g ou.Grid, o Objective, start ou.Size, k int) Result {
+	rIdx, cIdx, ok := g.IndexOf(start)
+	if !ok {
+		// Snap off-grid predictions to the nearest grid point.
+		rIdx, cIdx = g.NearestIndex(start.R), g.NearestIndex(start.C)
+	}
+	res := Result{BestEDP: math.Inf(1)}
+	evaluate := func(ri, ci int) (edp float64, feasible bool) {
+		s := g.SizeAt(ri, ci)
+		res.Evaluations++
+		if !o.Feasible(s) {
+			return math.Inf(1), false
+		}
+		return o.EDP(s), true
+	}
+	record := func(ri, ci int, edp float64) {
+		if edp < res.BestEDP {
+			res.Best, res.BestEDP, res.Found = g.SizeAt(ri, ci), edp, true
+		}
+	}
+
+	curEDP, curFeasible := evaluate(rIdx, cIdx)
+	if curFeasible {
+		record(rIdx, cIdx, curEDP)
+	}
+	n := g.Levels()
+	for step := 0; step < k; step++ {
+		type move struct{ dr, dc int }
+		bestMove := move{}
+		bestEDP := math.Inf(1)
+		bestNF := math.Inf(1)
+		improved := false
+		for _, mv := range []move{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+			ri, ci := rIdx+mv.dr, cIdx+mv.dc
+			if ri < 0 || ri >= n || ci < 0 || ci >= n {
+				continue
+			}
+			edp, feasible := evaluate(ri, ci)
+			if feasible {
+				record(ri, ci, edp)
+				if edp < bestEDP {
+					bestEDP, bestMove, improved = edp, mv, true
+				}
+			} else if !curFeasible && !improved {
+				// Infeasible region: head toward lower non-ideality.
+				if nf := o.NF(g.SizeAt(ri, ci)); nf < bestNF {
+					bestNF, bestMove = nf, mv
+				}
+			}
+		}
+		switch {
+		case improved && (!curFeasible || bestEDP < curEDP):
+			rIdx, cIdx = rIdx+bestMove.dr, cIdx+bestMove.dc
+			curEDP, curFeasible = bestEDP, true
+		case !curFeasible && !math.IsInf(bestNF, 1):
+			rIdx, cIdx = rIdx+bestMove.dr, cIdx+bestMove.dc
+			curEDP, curFeasible = math.Inf(1), false
+		default:
+			return res // local minimum (or stuck): stop early
+		}
+	}
+	return res
+}

@@ -1,0 +1,200 @@
+package sparsity
+
+import (
+	"fmt"
+	"math"
+
+	"odin/internal/rng"
+)
+
+// Bitmap is a dense zero/non-zero mask of a weight block mapped onto a
+// crossbar. Where Profile describes zero structure *statistically* (for
+// the analytic cycle model), a Bitmap realises one concrete instance so
+// that row-segment skipping and index-compression storage can be measured
+// exactly — the machinery behind the rowskip and indexes experiments.
+type Bitmap struct {
+	Rows, Cols int
+	words      []uint64
+}
+
+// NewBitmap allocates an all-zero (fully sparse) bitmap.
+func NewBitmap(rows, cols int) *Bitmap {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("sparsity: invalid bitmap %dx%d", rows, cols))
+	}
+	return &Bitmap{Rows: rows, Cols: cols, words: make([]uint64, (rows*cols+63)/64)}
+}
+
+func (b *Bitmap) idx(i, j int) (int, uint64) {
+	if i < 0 || i >= b.Rows || j < 0 || j >= b.Cols {
+		panic(fmt.Sprintf("sparsity: bitmap index (%d,%d) outside %dx%d", i, j, b.Rows, b.Cols))
+	}
+	bit := i*b.Cols + j
+	return bit / 64, 1 << (uint(bit) % 64)
+}
+
+// Set marks cell (i, j) as holding a non-zero weight.
+func (b *Bitmap) Set(i, j int) {
+	w, mask := b.idx(i, j)
+	b.words[w] |= mask
+}
+
+// Get reports whether cell (i, j) holds a non-zero weight.
+func (b *Bitmap) Get(i, j int) bool {
+	w, mask := b.idx(i, j)
+	return b.words[w]&mask != 0
+}
+
+// Density returns the fraction of non-zero cells.
+func (b *Bitmap) Density() float64 {
+	n := 0
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			if b.Get(i, j) {
+				n++
+			}
+		}
+	}
+	return float64(n) / float64(b.Rows*b.Cols)
+}
+
+// Synthesize realises a bitmap matching a pruning profile: whole
+// ClusterWidth-aligned row segments are zeroed with the structured rate
+// Cluster·Weight, and the remaining cells carry unstructured zeros at the
+// residual rate, so the total zero fraction ≈ Weight and the segment-skip
+// statistics match Profile.SegmentZeroFraction.
+func Synthesize(rows, cols int, p Profile, seed string) *Bitmap {
+	src := rng.NewFromString("bitmap/" + seed)
+	b := NewBitmap(rows, cols)
+	w0 := p.ClusterWidth
+	if w0 <= 0 {
+		w0 = DefaultClusterWidth
+	}
+	structured := p.Cluster * p.Weight
+	// In-segment zero rate chosen so the TOTAL zero fraction equals Weight:
+	// structured + (1−structured)·residual = Weight.
+	residual := 0.0
+	if structured < 1 {
+		residual = (p.Weight - structured) / (1 - structured)
+	}
+	for i := 0; i < rows; i++ {
+		for j0 := 0; j0 < cols; j0 += w0 {
+			blockZero := src.Bernoulli(structured)
+			end := j0 + w0
+			if end > cols {
+				end = cols
+			}
+			for j := j0; j < end; j++ {
+				if blockZero {
+					continue // whole segment pruned
+				}
+				if src.Bernoulli(residual) {
+					continue // unstructured zero
+				}
+				b.Set(i, j)
+			}
+		}
+	}
+	return b
+}
+
+// SegmentZeroFraction measures the fraction of (row, column-group)
+// segments of the given width that contain only zeros — the exact
+// counterpart of Profile.SegmentZeroFraction.
+func (b *Bitmap) SegmentZeroFraction(width int) float64 {
+	if width < 1 {
+		panic(fmt.Sprintf("sparsity: invalid segment width %d", width))
+	}
+	total, zero := 0, 0
+	for i := 0; i < b.Rows; i++ {
+		for j0 := 0; j0 < b.Cols; j0 += width {
+			total++
+			allZero := true
+			end := j0 + width
+			if end > b.Cols {
+				end = b.Cols
+			}
+			for j := j0; j < end; j++ {
+				if b.Get(i, j) {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				zero++
+			}
+		}
+	}
+	return float64(zero) / float64(total)
+}
+
+// OUCycles counts the exact OU compute cycles for this bitmap at OU size
+// R×C: per column group, zero row segments are skipped and the survivors
+// packed into ⌈n/R⌉ row steps (the measured counterpart of
+// ou.LayerWork.Cycles).
+func (b *Bitmap) OUCycles(r, c int) int {
+	if r < 1 || c < 1 {
+		panic(fmt.Sprintf("sparsity: invalid OU %dx%d", r, c))
+	}
+	cycles := 0
+	for j0 := 0; j0 < b.Cols; j0 += c {
+		end := j0 + c
+		if end > b.Cols {
+			end = b.Cols
+		}
+		active := 0
+		for i := 0; i < b.Rows; i++ {
+			for j := j0; j < end; j++ {
+				if b.Get(i, j) {
+					active++
+					break
+				}
+			}
+		}
+		if active == 0 {
+			active = 1 // control still touches the group once
+		}
+		cycles += (active + r - 1) / r
+	}
+	return cycles
+}
+
+// IndexTable is the bookkeeping a compressed-OU scheme must store so the
+// controller can fetch the right inputs for skipped rows (paper §II: prior
+// work computes these offline and keeps them in a buffer).
+type IndexTable struct {
+	Entries int // stored row indices (one per surviving segment)
+	Bits    int // total storage in bits
+}
+
+// KB returns the table size in kilobytes.
+func (t IndexTable) KB() float64 { return float64(t.Bits) / 8 / 1024 }
+
+// CompressRowIndices builds the index table for OU width c: for every
+// column group, the indices of its non-zero row segments, each stored in
+// ⌈log2(rows)⌉ bits.
+func (b *Bitmap) CompressRowIndices(c int) IndexTable {
+	if c < 1 {
+		panic(fmt.Sprintf("sparsity: invalid OU width %d", c))
+	}
+	bitsPerIndex := int(math.Ceil(math.Log2(float64(b.Rows))))
+	if bitsPerIndex < 1 {
+		bitsPerIndex = 1
+	}
+	entries := 0
+	for j0 := 0; j0 < b.Cols; j0 += c {
+		end := j0 + c
+		if end > b.Cols {
+			end = b.Cols
+		}
+		for i := 0; i < b.Rows; i++ {
+			for j := j0; j < end; j++ {
+				if b.Get(i, j) {
+					entries++
+					break
+				}
+			}
+		}
+	}
+	return IndexTable{Entries: entries, Bits: entries * bitsPerIndex}
+}

@@ -1,0 +1,185 @@
+package sparsity
+
+import (
+	"math"
+	"testing"
+)
+
+func testProfile() Profile {
+	return Profile{Weight: 0.6, Cluster: 0.85, ClusterWidth: 16}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(10, 20)
+	if b.Get(3, 7) {
+		t.Fatal("fresh bitmap not zero")
+	}
+	b.Set(3, 7)
+	if !b.Get(3, 7) {
+		t.Fatal("Set did not stick")
+	}
+	if b.Get(3, 8) || b.Get(4, 7) {
+		t.Fatal("Set leaked to neighbours")
+	}
+}
+
+func TestBitmapPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBitmap(0, 5) },
+		func() { NewBitmap(5, 5).Get(5, 0) },
+		func() { NewBitmap(5, 5).Set(0, -1) },
+		func() { NewBitmap(5, 5).SegmentZeroFraction(0) },
+		func() { NewBitmap(5, 5).OUCycles(0, 4) },
+		func() { NewBitmap(5, 5).CompressRowIndices(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSynthesizeMatchesDensity(t *testing.T) {
+	p := testProfile()
+	b := Synthesize(512, 512, p, "density")
+	// Non-zero density ≈ 1 − Weight.
+	if got, want := b.Density(), 1-p.Weight; math.Abs(got-want) > 0.03 {
+		t.Fatalf("density %v, want ≈ %v", got, want)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	p := testProfile()
+	a := Synthesize(64, 64, p, "same")
+	b := Synthesize(64, 64, p, "same")
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			if a.Get(i, j) != b.Get(i, j) {
+				t.Fatal("synthesis not deterministic")
+			}
+		}
+	}
+	c := Synthesize(64, 64, p, "other")
+	diff := 0
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			if a.Get(i, j) != c.Get(i, j) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical bitmaps")
+	}
+}
+
+// The headline validation: the measured segment-zero fraction of a
+// synthesized bitmap tracks the analytic Profile model across OU widths.
+func TestMeasuredSkipMatchesAnalyticModel(t *testing.T) {
+	p := testProfile()
+	b := Synthesize(1024, 512, p, "validate")
+	for _, width := range []int{4, 8, 16, 32, 64} {
+		analytic := p.SegmentZeroFraction(width)
+		measured := b.SegmentZeroFraction(width)
+		if math.Abs(analytic-measured) > 0.05 {
+			t.Errorf("width %d: analytic %.3f vs measured %.3f", width, analytic, measured)
+		}
+	}
+}
+
+func TestMeasuredSkipMonotoneInWidth(t *testing.T) {
+	b := Synthesize(256, 256, testProfile(), "mono")
+	prev := 2.0
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		f := b.SegmentZeroFraction(w)
+		if f > prev+1e-12 {
+			t.Fatalf("measured skip increased with width %d: %v > %v", w, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestOUCyclesExactSmallCase(t *testing.T) {
+	// 4×4 bitmap, rows 0 and 2 non-zero in the left pair of columns only.
+	b := NewBitmap(4, 4)
+	b.Set(0, 0)
+	b.Set(2, 1)
+	// OU 2×2: left group has rows {0,2} active → ceil(2/2)=1 step;
+	// right group empty → 1 control step. Total 2.
+	if got := b.OUCycles(2, 2); got != 2 {
+		t.Fatalf("cycles = %d, want 2", got)
+	}
+	// OU 1×2: left group 2 steps, right group 1 → 3.
+	if got := b.OUCycles(1, 2); got != 3 {
+		t.Fatalf("cycles = %d, want 3", got)
+	}
+}
+
+func TestOUCyclesMonotoneInR(t *testing.T) {
+	b := Synthesize(256, 256, testProfile(), "cycles")
+	prev := math.MaxInt
+	for _, r := range []int{4, 8, 16, 32, 64, 128} {
+		c := b.OUCycles(r, 16)
+		if c > prev {
+			t.Fatalf("cycles increased with R=%d: %d > %d", r, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestCompressRowIndices(t *testing.T) {
+	b := NewBitmap(256, 32)
+	b.Set(0, 0)
+	b.Set(100, 5)
+	b.Set(100, 20)
+	// Width 16: group 0 has segments at rows 0 and 100 (2 entries);
+	// group 1 has row 100 (1 entry). 3 entries × 8 bits.
+	tab := b.CompressRowIndices(16)
+	if tab.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", tab.Entries)
+	}
+	if tab.Bits != 3*8 {
+		t.Fatalf("bits = %d, want 24", tab.Bits)
+	}
+	if tab.KB() <= 0 {
+		t.Fatal("KB must be positive")
+	}
+}
+
+func TestIndexStorageGrowsWithNarrowerOUs(t *testing.T) {
+	// Narrow OU columns mean more column groups, hence more stored
+	// indices — the §II storage-blowup argument.
+	b := Synthesize(512, 512, testProfile(), "storage")
+	wide := b.CompressRowIndices(64)
+	narrow := b.CompressRowIndices(4)
+	if narrow.Entries <= wide.Entries {
+		t.Fatalf("narrow OU (%d entries) should store more than wide (%d)",
+			narrow.Entries, wide.Entries)
+	}
+}
+
+func TestBitmapConsistencyWithAnalyticCycles(t *testing.T) {
+	// The analytic LayerWork cycle model and the measured bitmap cycles
+	// agree within discretisation error on matched inputs.
+	p := testProfile()
+	b := Synthesize(128, 128, p, "analytic-check")
+	for _, r := range []int{8, 16, 32} {
+		for _, c := range []int{8, 16, 32} {
+			measured := b.OUCycles(r, c)
+			// Analytic: ceil(rows·(1−skip)/r) per column group.
+			skip := p.SegmentZeroFraction(c)
+			active := int(math.Ceil(128 * (1 - skip)))
+			groups := (128 + c - 1) / c
+			analytic := ((active + r - 1) / r) * groups
+			ratio := float64(measured) / float64(analytic)
+			if ratio < 0.6 || ratio > 1.6 {
+				t.Errorf("OU %dx%d: measured %d vs analytic %d (ratio %.2f)",
+					r, c, measured, analytic, ratio)
+			}
+		}
+	}
+}

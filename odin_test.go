@@ -1,0 +1,195 @@
+package odin
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestNewSystemIsPaperPlatform(t *testing.T) {
+	sys := NewSystem()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Arch.PEs != 36 || sys.Arch.TilesPerPE != 4 ||
+		sys.Arch.CrossbarsPerTile != 96 || sys.Arch.CrossbarSize != 128 {
+		t.Fatalf("platform structure wrong: %+v", sys.Arch)
+	}
+	if sys.Device.GOn != 333e-6 || sys.Device.RWire != 1 || sys.Device.Nu != 0.2 {
+		t.Fatalf("Table II parameters wrong: %+v", sys.Device)
+	}
+}
+
+func TestModelsZoo(t *testing.T) {
+	models := Models()
+	if len(models) != 9 {
+		t.Fatalf("zoo has %d workloads, want 9", len(models))
+	}
+	m, err := ModelByName("GoogLeNet")
+	if err != nil || m.Name != "GoogLeNet" {
+		t.Fatalf("ModelByName failed: %v %v", m, err)
+	}
+	if MustModel("ViT").Name != "ViT" {
+		t.Fatal("MustModel failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustModel on unknown name did not panic")
+		}
+	}()
+	MustModel("AlexNet")
+}
+
+func TestLeaveOutFacade(t *testing.T) {
+	rest := LeaveOut(Models(), "ResNet")
+	if len(rest) != 6 {
+		t.Fatalf("LeaveOut kept %d, want 6", len(rest))
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// The quickstart flow, compressed: bootstrap → adapt → compare.
+	sys := NewSystem()
+	wl, err := sys.Prepare(MustModel("VGG11"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultBootstrapConfig()
+	cfg.MaxExamples = 120 // keep the test quick
+	pol, n, err := BootstrapPolicy(sys, LeaveOut(Models(), "VGG"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no bootstrap examples")
+	}
+	ctrl, err := NewController(sys, wl, pol, DefaultControllerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := HorizonConfig{End: 1e8, Epochs: 200}
+	odinSum := SimulateHorizon(ctrl, horizon)
+
+	blWl, err := sys.Prepare(MustModel("VGG11"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := NewBaseline(sys, blWl, Size{R: 16, C: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSum := SimulateHorizon(baseline, horizon)
+
+	if odinSum.TotalEDP() >= baseSum.TotalEDP() {
+		t.Fatalf("Odin EDP %v not below 16×16's %v", odinSum.TotalEDP(), baseSum.TotalEDP())
+	}
+	if odinSum.Reprograms >= baseSum.Reprograms {
+		t.Fatalf("Odin reprogrammed %d times vs baseline %d", odinSum.Reprograms, baseSum.Reprograms)
+	}
+	if odinSum.MeanAccuracy < MustModel("VGG11").IdealAccuracy-0.01 {
+		t.Fatalf("Odin sacrificed accuracy: %v", odinSum.MeanAccuracy)
+	}
+}
+
+func TestBaselineSizesArePaperConfigs(t *testing.T) {
+	sizes := BaselineSizes()
+	want := []Size{{R: 16, C: 16}, {R: 16, C: 4}, {R: 9, C: 8}, {R: 8, C: 4}}
+	if len(sizes) != len(want) {
+		t.Fatalf("got %d baseline sizes", len(sizes))
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("baseline %d = %v, want %v", i, sizes[i], want[i])
+		}
+	}
+}
+
+func TestCrossbarFacade(t *testing.T) {
+	xbar := NewCrossbar(64, DefaultDeviceParams())
+	w := RandomWeights(64, 64, "facade-test")
+	xbar.Program(w, 0)
+	input := RandomWeights(1, 64, "facade-test-in").Row(0)
+	fresh := xbar.RelativeMVMError(input, MVMOptions(Size{R: 16, C: 16}, 0))
+	aged := xbar.RelativeMVMError(input, MVMOptions(Size{R: 16, C: 16}, 1e6))
+	if !(fresh < aged) {
+		t.Fatalf("drift did not increase MVM error: %v vs %v", fresh, aged)
+	}
+	if math.IsNaN(fresh) || math.IsNaN(aged) {
+		t.Fatal("NaN errors")
+	}
+}
+
+func TestRandomWeightsDeterministic(t *testing.T) {
+	a := RandomWeights(4, 4, "seed")
+	b := RandomWeights(4, 4, "seed")
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("RandomWeights not deterministic")
+		}
+	}
+	c := RandomWeights(4, 4, "other")
+	if a.Data[0] == c.Data[0] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestNewPolicyGridMatchesSystem(t *testing.T) {
+	sys := NewSystem().WithCrossbarSize(64)
+	pol := NewPolicy(sys, 3)
+	if pol.Grid() != sys.Grid() {
+		t.Fatal("policy grid mismatch")
+	}
+}
+
+func TestSaveLoadPolicy(t *testing.T) {
+	sys := NewSystem()
+	pol := NewPolicy(sys, 5)
+	var buf bytes.Buffer
+	if err := SavePolicy(&buf, pol); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPolicy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Features{LayerIndex: 3, LayerCount: 11, Sparsity: 0.5, KernelSize: 3, Time: 100}
+	if back.Predict(f) != pol.Predict(f) {
+		t.Fatal("loaded policy predicts differently")
+	}
+	if _, err := LoadPolicy(bytes.NewBufferString("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestExtensionModelViaFacade(t *testing.T) {
+	m, err := ModelByName("MobileNetV2")
+	if err != nil || m.Name != "MobileNetV2" {
+		t.Fatalf("extension workload not resolvable: %v %v", m, err)
+	}
+	sys := NewSystem()
+	wl, err := sys.Prepare(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Layers() != 53 {
+		t.Fatalf("MobileNetV2 prepared with %d layers, want 53", wl.Layers())
+	}
+}
+
+func TestFacadeBaselineRoundTrip(t *testing.T) {
+	sys := NewSystem()
+	wl, err := sys.Prepare(MustModel("ResNet18"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range BaselineSizes() {
+		b, err := NewBaseline(sys, wl, size)
+		if err != nil {
+			t.Fatalf("%v: %v", size, err)
+		}
+		rep := b.RunInference(0)
+		if rep.Energy <= 0 || rep.Latency <= 0 {
+			t.Fatalf("%v: degenerate run %+v", size, rep)
+		}
+	}
+}
