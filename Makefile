@@ -1,0 +1,41 @@
+# Development and CI entry points. `make ci` is the full gate that
+# .github/workflows/ci.yml runs; every target works offline with a bare
+# Go >= 1.24 toolchain.
+
+GO ?= go
+
+.PHONY: all build fmt vet lint test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+# Fail (and list offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Project-specific static analysis: determinism (internal/rng only),
+# float-equality hygiene, unit-family safety, panic prefixes, dropped
+# errors. See `go run ./cmd/odinlint -list` and DESIGN.md §6.
+lint:
+	$(GO) run ./cmd/odinlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Compile-and-run smoke for every benchmark (one iteration each) so bench
+# code cannot rot without CI noticing.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+ci: build fmt vet lint test race bench

@@ -66,8 +66,13 @@ func train(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := odin.SavePolicy(f, pol); err != nil {
+		_ = f.Close()
+		return err
+	}
+	// Close errors matter on the write path: the policy file is the
+	// artefact.
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("trained on %d models (%d examples, %d parameters) -> %s\n",
@@ -80,7 +85,7 @@ func loadPolicy(path string) (*odin.Policy, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; close errors carry no signal
 	return odin.LoadPolicy(f)
 }
 

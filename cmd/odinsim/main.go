@@ -71,10 +71,11 @@ func run(args []string) error {
 
 func runOne(e experiments.Experiment) error {
 	fmt.Printf("==> %s (%s)\n", e.Title, e.ID)
-	start := time.Now()
+	start := time.Now() //lint:allow nondeterminism -- wall-clock progress report only, never in results
 	if err := e.Run(os.Stdout); err != nil {
 		return fmt.Errorf("%s: %w", e.ID, err)
 	}
+	//lint:allow nondeterminism -- wall-clock progress report only, never in results
 	fmt.Printf("<== %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	return nil
 }

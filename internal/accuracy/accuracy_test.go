@@ -12,12 +12,14 @@ import (
 func defaultModel() Model { return Default(reram.DefaultDeviceParams()) }
 
 func TestDefaultValid(t *testing.T) {
+	t.Parallel()
 	if err := defaultModel().Validate(); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestValidateRejections(t *testing.T) {
+	t.Parallel()
 	mutations := []func(*Model){
 		func(m *Model) { m.Eta = 0 },
 		func(m *Model) { m.Eta = 1 },
@@ -39,6 +41,7 @@ func TestValidateRejections(t *testing.T) {
 }
 
 func TestSensitivityWeightMonotoneDecreasing(t *testing.T) {
+	t.Parallel()
 	s := DefaultSensitivity()
 	const total = 20
 	prev := math.Inf(1)
@@ -58,6 +61,7 @@ func TestSensitivityWeightMonotoneDecreasing(t *testing.T) {
 }
 
 func TestSensitivitySingleLayer(t *testing.T) {
+	t.Parallel()
 	s := DefaultSensitivity()
 	if s.Weight(0, 1) != s.WMax {
 		t.Fatal("single-layer network should use WMax")
@@ -65,6 +69,7 @@ func TestSensitivitySingleLayer(t *testing.T) {
 }
 
 func TestSensitivityPanics(t *testing.T) {
+	t.Parallel()
 	s := DefaultSensitivity()
 	for _, fn := range []func(){
 		func() { s.Weight(-1, 5) },
@@ -83,6 +88,7 @@ func TestSensitivityPanics(t *testing.T) {
 }
 
 func TestIRFractionMatchesEq4ForSmallOUs(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	// For small OUs the area factor is negligible and IRFraction must track
 	// ΔG/G_ON from reram's literal Eq. 4 closely.
@@ -100,6 +106,7 @@ func TestIRFractionMatchesEq4ForSmallOUs(t *testing.T) {
 }
 
 func TestIRFractionMonotone(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	prev := -1.0
 	for _, sum := range []ou.Size{{R: 4, C: 4}, {R: 8, C: 4}, {R: 8, C: 8}, {R: 16, C: 16}, {R: 64, C: 64}, {R: 128, C: 128}} {
@@ -112,6 +119,7 @@ func TestIRFractionMonotone(t *testing.T) {
 }
 
 func TestAmplification(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	if a := m.Amplification(0.5); a != 1 {
 		t.Fatalf("amplification before t0 = %v, want 1", a)
@@ -122,6 +130,7 @@ func TestAmplification(t *testing.T) {
 }
 
 func TestNFComposition(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	s := ou.Size{R: 16, C: 16}
 	want := m.Sens.Weight(2, 10) * m.IRFraction(s) * m.Amplification(1e4)
@@ -131,6 +140,7 @@ func TestNFComposition(t *testing.T) {
 }
 
 func TestSatisfiesThreshold(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	// At t₀ every small-to-moderate grid size passes for a mid-depth layer,
 	// while the largest-area OUs (full crossbar and its 64×128 neighbours)
@@ -153,6 +163,7 @@ func TestSatisfiesThreshold(t *testing.T) {
 }
 
 func TestEarlyLayersTighter(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	s := ou.Size{R: 32, C: 32}
 	const tt = 1e6
@@ -162,6 +173,7 @@ func TestEarlyLayersTighter(t *testing.T) {
 }
 
 func TestMaxAllowedIRConsistent(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	g := ou.DefaultGrid(128)
 	const j, total, tt = 3, 20, 1e5
@@ -176,6 +188,7 @@ func TestMaxAllowedIRConsistent(t *testing.T) {
 }
 
 func TestAnySatisfiableUsesSmallestSize(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	g := ou.DefaultGrid(128)
 	// Find a time where 4×4 passes but 8×8 fails for layer 0 — possible by
@@ -195,6 +208,7 @@ func TestAnySatisfiableUsesSmallestSize(t *testing.T) {
 }
 
 func TestReprogramDeadlineInvertsNF(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	s := ou.Size{R: 16, C: 16}
 	const j, total = 0, 20
@@ -212,6 +226,7 @@ func TestReprogramDeadlineInvertsNF(t *testing.T) {
 }
 
 func TestReprogramDeadlineOrdering(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	// Smaller OUs buy strictly more drift headroom (the paper's central
 	// mechanism).
@@ -224,6 +239,7 @@ func TestReprogramDeadlineOrdering(t *testing.T) {
 }
 
 func TestReprogramDeadlineEdgeCases(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	m.Device.Nu = 0
 	if !math.IsInf(m.ReprogramDeadline(0, 5, ou.Size{R: 4, C: 4}), 1) {
@@ -237,6 +253,7 @@ func TestReprogramDeadlineEdgeCases(t *testing.T) {
 }
 
 func TestLossCalibration16x16(t *testing.T) {
+	t.Parallel()
 	// Headline: homogeneous 16×16 without reprogramming loses ≈22 points by
 	// t = 10⁸ s (paper Fig. 7).
 	m := defaultModel()
@@ -255,6 +272,7 @@ func TestLossCalibration16x16(t *testing.T) {
 }
 
 func TestLossOrderingAcrossOUSizes(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	mk := func(r, c int) []ou.Size {
 		s := make([]ou.Size, 11)
@@ -273,6 +291,7 @@ func TestLossOrderingAcrossOUSizes(t *testing.T) {
 }
 
 func TestLossMonotoneInTimeProperty(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	sizes := []ou.Size{{R: 16, C: 8}, {R: 16, C: 16}, {R: 32, C: 32}, {R: 8, C: 4}}
 	f := func(aRaw, bRaw uint32) bool {
@@ -289,6 +308,7 @@ func TestLossMonotoneInTimeProperty(t *testing.T) {
 }
 
 func TestLossEmptyAndBounds(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	if m.Loss(nil, 1e8) != 0 {
 		t.Fatal("empty size list should lose nothing")
@@ -310,6 +330,7 @@ func TestLossEmptyAndBounds(t *testing.T) {
 }
 
 func TestAccuracyClampsAtZero(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	m.MaxLoss = 1
 	sizes := []ou.Size{{R: 128, C: 128}}
@@ -319,6 +340,7 @@ func TestAccuracyClampsAtZero(t *testing.T) {
 }
 
 func TestAccuracySubtractsLoss(t *testing.T) {
+	t.Parallel()
 	m := defaultModel()
 	sizes := []ou.Size{{R: 16, C: 16}, {R: 16, C: 16}}
 	loss := m.Loss(sizes, 1e6)

@@ -231,7 +231,7 @@ func (c *Controller) updatePolicy() {
 	if err != nil {
 		// Targets come from the grid-constrained search, so this is a
 		// programming error, not a runtime condition.
-		panic(err)
+		panic(fmt.Sprintf("core: policy update: %v", err))
 	}
 	c.updates++
 }

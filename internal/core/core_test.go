@@ -10,12 +10,14 @@ import (
 )
 
 func TestDefaultSystemValid(t *testing.T) {
+	t.Parallel()
 	if err := DefaultSystem().Validate(); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestWithCrossbarSize(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem().WithCrossbarSize(64)
 	if err := sys.Validate(); err != nil {
 		t.Fatal(err)
@@ -30,6 +32,7 @@ func TestWithCrossbarSize(t *testing.T) {
 }
 
 func TestPrepareWorkload(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	m := dnn.NewVGG11()
 	wl, err := sys.Prepare(m)
@@ -59,6 +62,7 @@ func TestPrepareWorkload(t *testing.T) {
 }
 
 func TestPreparePreservesExistingPruning(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	m := dnn.NewVGG11()
 	if _, err := sys.Prepare(m); err != nil {
@@ -74,6 +78,7 @@ func TestPreparePreservesExistingPruning(t *testing.T) {
 }
 
 func TestPrepareRejectsInvalidModel(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	bad := &dnn.Model{Name: "bad", IdealAccuracy: 0.9}
 	if _, err := sys.Prepare(bad); err == nil {
@@ -82,6 +87,7 @@ func TestPrepareRejectsInvalidModel(t *testing.T) {
 }
 
 func TestFeaturesAt(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, err := sys.Prepare(dnn.NewVGG11())
 	if err != nil {
@@ -104,6 +110,7 @@ func freshPolicy(sys System) *policy.Policy {
 }
 
 func TestNewControllerValidation(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, _ := sys.Prepare(dnn.NewVGG11())
 	if _, err := NewController(sys, nil, freshPolicy(sys), DefaultControllerOptions()); err == nil {
@@ -120,6 +127,7 @@ func TestNewControllerValidation(t *testing.T) {
 }
 
 func TestControllerRunAtT0(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, _ := sys.Prepare(dnn.NewVGG11())
 	ctrl, err := NewController(sys, wl, freshPolicy(sys), DefaultControllerOptions())
@@ -151,6 +159,7 @@ func TestControllerRunAtT0(t *testing.T) {
 }
 
 func TestControllerReprogramsWhenNothingFeasible(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, _ := sys.Prepare(dnn.NewVGG11())
 	ctrl, _ := NewController(sys, wl, freshPolicy(sys), DefaultControllerOptions())
@@ -175,6 +184,7 @@ func TestControllerReprogramsWhenNothingFeasible(t *testing.T) {
 }
 
 func TestControllerShrinksOUsWithAge(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, _ := sys.Prepare(dnn.NewVGG11())
 	ctrl, _ := NewController(sys, wl, freshPolicy(sys), DefaultControllerOptions())
@@ -193,6 +203,7 @@ func TestControllerShrinksOUsWithAge(t *testing.T) {
 }
 
 func TestControllerLearnsFromDisagreements(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, _ := sys.Prepare(dnn.NewVGG11())
 	opts := DefaultControllerOptions()
@@ -212,6 +223,7 @@ func TestControllerLearnsFromDisagreements(t *testing.T) {
 }
 
 func TestControllerExhaustiveMode(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, _ := sys.Prepare(dnn.NewVGG11())
 	opts := DefaultControllerOptions()
@@ -231,6 +243,7 @@ func TestControllerExhaustiveMode(t *testing.T) {
 }
 
 func TestBaselineValidation(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, _ := sys.Prepare(dnn.NewVGG11())
 	if _, err := NewBaseline(sys, nil, ou.Size{R: 16, C: 16}); err == nil {
@@ -252,6 +265,7 @@ func TestBaselineValidation(t *testing.T) {
 }
 
 func TestBaselineUsesFixedSize(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, _ := sys.Prepare(dnn.NewVGG11())
 	b, _ := NewBaseline(sys, wl, ou.Size{R: 16, C: 4})
@@ -264,6 +278,7 @@ func TestBaselineUsesFixedSize(t *testing.T) {
 }
 
 func TestBaselineReprogramsOnViolation(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, _ := sys.Prepare(dnn.NewVGG11())
 	b, _ := NewBaseline(sys, wl, ou.Size{R: 16, C: 16})
@@ -281,6 +296,7 @@ func TestBaselineReprogramsOnViolation(t *testing.T) {
 }
 
 func TestBaselineWithoutReprogrammingDecays(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, _ := sys.Prepare(dnn.NewVGG11())
 	b, _ := NewBaseline(sys, wl, ou.Size{R: 16, C: 16})
@@ -303,6 +319,7 @@ func TestBaselineWithoutReprogrammingDecays(t *testing.T) {
 }
 
 func TestHorizonSummaryArithmetic(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, _ := sys.Prepare(dnn.NewVGG11())
 	b, _ := NewBaseline(sys, wl, ou.Size{R: 8, C: 4})
@@ -334,6 +351,7 @@ func TestHorizonSummaryArithmetic(t *testing.T) {
 // homogeneous baseline on total EDP, and reprogramming counts order
 // coarse ≫ fine ≥ Odin (paper §V.C).
 func TestHeadlineOrderings(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, err := sys.Prepare(dnn.NewVGG11())
 	if err != nil {
@@ -389,6 +407,7 @@ func TestHeadlineOrderings(t *testing.T) {
 }
 
 func TestCollectExamplesCapAndValidity(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	models := []*dnn.Model{dnn.NewResNet18(), dnn.NewViT()}
 	cfg := DefaultBootstrapConfig()
@@ -412,6 +431,7 @@ func TestCollectExamplesCapAndValidity(t *testing.T) {
 }
 
 func TestBootstrapImprovesAgreement(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	known := []*dnn.Model{dnn.NewResNet18(), dnn.NewGoogLeNet(), dnn.NewViT()}
 	pol, n, err := BootstrapPolicy(sys, known, DefaultBootstrapConfig())
@@ -434,6 +454,7 @@ func TestBootstrapImprovesAgreement(t *testing.T) {
 }
 
 func TestLeaveOut(t *testing.T) {
+	t.Parallel()
 	all := dnn.AllWorkloads()
 	rest := LeaveOut(all, "VGG")
 	if len(rest) != 6 {
@@ -450,6 +471,7 @@ func TestLeaveOut(t *testing.T) {
 }
 
 func TestProactiveReprogramOption(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, _ := sys.Prepare(dnn.NewVGG11())
 	opts := DefaultControllerOptions()
@@ -480,6 +502,7 @@ func TestProactiveReprogramOption(t *testing.T) {
 }
 
 func TestConfidenceEXOption(t *testing.T) {
+	t.Parallel()
 	sys := DefaultSystem()
 	wl, _ := sys.Prepare(dnn.NewVGG11())
 	// A fresh (untrained) policy is maximally unsure: near-uniform heads

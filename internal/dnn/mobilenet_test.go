@@ -3,6 +3,7 @@ package dnn
 import "testing"
 
 func TestMobileNetV2Structure(t *testing.T) {
+	t.Parallel()
 	m := NewMobileNetV2()
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
@@ -38,6 +39,7 @@ func TestMobileNetV2Structure(t *testing.T) {
 }
 
 func TestGroupedLayerArithmetic(t *testing.T) {
+	t.Parallel()
 	l := Layer{Name: "dw", Type: Conv, KernelH: 3, KernelW: 3,
 		InChannels: 64, OutChannels: 64, InH: 16, InW: 16, Stride: 1, Groups: 64}
 	if l.Weights() != 9*64 {
@@ -54,6 +56,7 @@ func TestGroupedLayerArithmetic(t *testing.T) {
 }
 
 func TestGroupedLayerValidation(t *testing.T) {
+	t.Parallel()
 	bad := Layer{Name: "x", KernelH: 3, KernelW: 3, InChannels: 10,
 		OutChannels: 10, InH: 8, InW: 8, Stride: 1, Groups: 3} // 10 % 3 != 0
 	if err := bad.Validate(); err == nil {
@@ -67,6 +70,7 @@ func TestGroupedLayerValidation(t *testing.T) {
 }
 
 func TestExtendedWorkloads(t *testing.T) {
+	t.Parallel()
 	ext := ExtendedWorkloads()
 	if len(ext) != 10 {
 		t.Fatalf("extended zoo has %d models, want 10", len(ext))

@@ -6,6 +6,7 @@ import (
 )
 
 func TestAllWorkloadsValidate(t *testing.T) {
+	t.Parallel()
 	models := AllWorkloads()
 	if len(models) != 9 {
 		t.Fatalf("paper evaluates 9 workloads, zoo has %d", len(models))
@@ -18,6 +19,7 @@ func TestAllWorkloadsValidate(t *testing.T) {
 }
 
 func TestWorkloadDatasetPairs(t *testing.T) {
+	t.Parallel()
 	want := map[string]string{
 		"ResNet18":    "CIFAR-10",
 		"VGG11":       "CIFAR-10",
@@ -37,6 +39,7 @@ func TestWorkloadDatasetPairs(t *testing.T) {
 }
 
 func TestLayerCounts(t *testing.T) {
+	t.Parallel()
 	counts := map[string]int{
 		// ResNet18: conv1 + 16 block convs + 3 downsample + fc = 21.
 		"ResNet18": 21,
@@ -63,6 +66,7 @@ func TestLayerCounts(t *testing.T) {
 }
 
 func TestResNet18Structure(t *testing.T) {
+	t.Parallel()
 	m := NewResNet18()
 	first := m.Layers[0]
 	if first.Name != "conv1" || first.KernelH != 3 || first.OutChannels != 64 || first.InH != 32 {
@@ -87,6 +91,7 @@ func TestResNet18Structure(t *testing.T) {
 }
 
 func TestResNet18ParameterCount(t *testing.T) {
+	t.Parallel()
 	// CIFAR ResNet18 ≈ 11.2 M weights (conv + fc, no batch-norm params).
 	m := NewResNet18()
 	w := m.TotalWeights()
@@ -96,6 +101,7 @@ func TestResNet18ParameterCount(t *testing.T) {
 }
 
 func TestVGG16ParameterShape(t *testing.T) {
+	t.Parallel()
 	m := NewVGG16()
 	// 13 convs then 3 FC; the first FC sees the flattened 1×1×512 map.
 	fc1 := m.Layers[13]
@@ -108,6 +114,7 @@ func TestVGG16ParameterShape(t *testing.T) {
 }
 
 func TestFeatureMapTracking(t *testing.T) {
+	t.Parallel()
 	m := NewVGG11()
 	// After each pool the next conv must see the halved map.
 	wantInH := []int{32, 16, 8, 8, 4, 4, 2, 2}
@@ -124,6 +131,7 @@ func TestFeatureMapTracking(t *testing.T) {
 }
 
 func TestResNet50Downsamples(t *testing.T) {
+	t.Parallel()
 	m := NewResNet50()
 	skips := 0
 	for _, l := range m.Layers {
@@ -140,6 +148,7 @@ func TestResNet50Downsamples(t *testing.T) {
 }
 
 func TestGoogLeNetInceptionWidths(t *testing.T) {
+	t.Parallel()
 	m := NewGoogLeNet()
 	// Find the 5b 5×5 branch: in 48 out 128 on an 8×8 map.
 	var found bool
@@ -161,6 +170,7 @@ func TestGoogLeNetInceptionWidths(t *testing.T) {
 }
 
 func TestDenseNetChannelGrowth(t *testing.T) {
+	t.Parallel()
 	m := NewDenseNet121()
 	head := m.Layers[len(m.Layers)-1]
 	if head.InChannels != 1024 {
@@ -179,6 +189,7 @@ func TestDenseNetChannelGrowth(t *testing.T) {
 }
 
 func TestViTShapes(t *testing.T) {
+	t.Parallel()
 	m := NewViT()
 	patch := m.Layers[0]
 	if patch.Stride != 4 || patch.OutH() != 8 {
@@ -199,6 +210,7 @@ func TestViTShapes(t *testing.T) {
 }
 
 func TestLayerDerivedQuantities(t *testing.T) {
+	t.Parallel()
 	l := Layer{Name: "x", Type: Conv, KernelH: 3, KernelW: 3,
 		InChannels: 64, OutChannels: 128, InH: 16, InW: 16, Stride: 2}
 	if l.Weights() != 3*3*64*128 {
@@ -219,6 +231,7 @@ func TestLayerDerivedQuantities(t *testing.T) {
 }
 
 func TestLayerValidateRejections(t *testing.T) {
+	t.Parallel()
 	good := Layer{Name: "ok", KernelH: 3, KernelW: 3, InChannels: 4,
 		OutChannels: 4, InH: 8, InW: 8, Stride: 1}
 	if err := good.Validate(); err != nil {
@@ -242,6 +255,7 @@ func TestLayerValidateRejections(t *testing.T) {
 }
 
 func TestModelValidateRejections(t *testing.T) {
+	t.Parallel()
 	m := NewVGG11()
 	m.IdealAccuracy = 0
 	if err := m.Validate(); err == nil {
@@ -254,6 +268,7 @@ func TestModelValidateRejections(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
+	t.Parallel()
 	m, err := ByName("VGG11")
 	if err != nil || m.Name != "VGG11" {
 		t.Fatalf("ByName(VGG11) = %v, %v", m, err)
@@ -264,6 +279,7 @@ func TestByName(t *testing.T) {
 }
 
 func TestLayerTypeString(t *testing.T) {
+	t.Parallel()
 	if Conv.String() != "conv" || FC.String() != "fc" || Attention.String() != "attn" {
 		t.Fatal("LayerType strings wrong")
 	}
@@ -273,12 +289,14 @@ func TestLayerTypeString(t *testing.T) {
 }
 
 func TestMeanWeightSparsityZeroForUnpruned(t *testing.T) {
+	t.Parallel()
 	if s := NewResNet18().MeanWeightSparsity(); s != 0 {
 		t.Fatalf("unpruned sparsity = %v", s)
 	}
 }
 
 func TestTotalMACsPositive(t *testing.T) {
+	t.Parallel()
 	for _, m := range AllWorkloads() {
 		if m.TotalMACs() <= 0 || m.TotalWeights() <= 0 {
 			t.Errorf("%s has non-positive totals", m.Name)

@@ -11,6 +11,7 @@ import (
 // not the full grids the CLI prints.
 
 func TestAblSearchKTrend(t *testing.T) {
+	t.Parallel()
 	res, err := AblSearchK(core.DefaultSystem(), []int{1, 3})
 	if err != nil {
 		t.Fatal(err)
@@ -37,6 +38,7 @@ func TestAblSearchKTrend(t *testing.T) {
 }
 
 func TestAblBufferTrend(t *testing.T) {
+	t.Parallel()
 	res, err := AblBuffer(core.DefaultSystem(), []int{10, 100})
 	if err != nil {
 		t.Fatal(err)
@@ -54,6 +56,7 @@ func TestAblBufferTrend(t *testing.T) {
 }
 
 func TestAblEtaTrend(t *testing.T) {
+	t.Parallel()
 	res, err := AblEta(core.DefaultSystem(), []float64{0.0025, 0.02})
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +73,7 @@ func TestAblEtaTrend(t *testing.T) {
 }
 
 func TestAblRateCrossover(t *testing.T) {
+	t.Parallel()
 	res, err := AblRate(core.DefaultSystem(), []float64{1e-5, 1e-2})
 	if err != nil {
 		t.Fatal(err)
@@ -87,6 +91,7 @@ func TestAblRateCrossover(t *testing.T) {
 }
 
 func TestAblClusterTracksWidth(t *testing.T) {
+	t.Parallel()
 	res, err := AblCluster(core.DefaultSystem(), []int{4, 64})
 	if err != nil {
 		t.Fatal(err)
@@ -100,6 +105,7 @@ func TestAblClusterTracksWidth(t *testing.T) {
 }
 
 func TestAblPolicyArchitectures(t *testing.T) {
+	t.Parallel()
 	res, err := AblPolicy(core.DefaultSystem(), [][]int{{}, {16}})
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"odin/internal/core"
 	"odin/internal/infer"
@@ -89,7 +90,9 @@ func Empirical(sys core.System, sizes []ou.Size, ages []float64) (EmpiricalResul
 // Cell returns the measurement for (size, age).
 func (r EmpiricalResult) Cell(s ou.Size, age float64) (EmpiricalCell, bool) {
 	for _, c := range r.Cells {
-		if c.OU == s && c.Age == age {
+		// Ages are discrete sweep points copied verbatim into the cells,
+		// so the lookup wants exact bit identity, not a tolerance.
+		if c.OU == s && math.Float64bits(c.Age) == math.Float64bits(age) {
 			return c, true
 		}
 	}

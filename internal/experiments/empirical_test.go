@@ -10,6 +10,7 @@ import (
 )
 
 func TestEmpiricalValidatesSurrogateTimeAxis(t *testing.T) {
+	t.Parallel()
 	sizes := []ou.Size{{R: 16, C: 16}}
 	ages := []float64{1, 1e4, 1e9}
 	res, err := Empirical(core.DefaultSystem(), sizes, ages)
@@ -57,6 +58,7 @@ func TestEmpiricalValidatesSurrogateTimeAxis(t *testing.T) {
 }
 
 func TestNoiseSweepMonotone(t *testing.T) {
+	t.Parallel()
 	res, err := Noise(core.DefaultSystem(), []float64{0, 0.05, 0.15})
 	if err != nil {
 		t.Fatal(err)

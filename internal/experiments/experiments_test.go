@@ -10,6 +10,7 @@ import (
 )
 
 func TestAllUniqueIDsAndRunnable(t *testing.T) {
+	t.Parallel()
 	seen := map[string]bool{}
 	for _, e := range All() {
 		if e.ID == "" || e.Title == "" || e.Run == nil {
@@ -26,6 +27,7 @@ func TestAllUniqueIDsAndRunnable(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
+	t.Parallel()
 	e, err := ByID("fig3")
 	if err != nil || e.ID != "fig3" {
 		t.Fatalf("ByID(fig3) = %+v, %v", e, err)
@@ -36,6 +38,7 @@ func TestByID(t *testing.T) {
 }
 
 func TestFamilyOf(t *testing.T) {
+	t.Parallel()
 	cases := map[string]string{
 		"VGG11":       "VGG",
 		"VGG19":       "VGG",
@@ -53,6 +56,7 @@ func TestFamilyOf(t *testing.T) {
 }
 
 func TestTable1MatchesPaper(t *testing.T) {
+	t.Parallel()
 	res := Table1(core.DefaultSystem())
 	if len(res.Rows) != 9 {
 		t.Fatalf("Table I has %d rows, want 9", len(res.Rows))
@@ -73,6 +77,7 @@ func TestTable1MatchesPaper(t *testing.T) {
 }
 
 func TestTable2MatchesPaper(t *testing.T) {
+	t.Parallel()
 	res := Table2(core.DefaultSystem())
 	var buf bytes.Buffer
 	res.Render(&buf)
@@ -85,6 +90,7 @@ func TestTable2MatchesPaper(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
+	t.Parallel()
 	res, err := Fig3(core.DefaultSystem())
 	if err != nil {
 		t.Fatal(err)
@@ -111,6 +117,7 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig4DistributionShiftsLeft(t *testing.T) {
+	t.Parallel()
 	res, err := Fig4(core.DefaultSystem(), []float64{1, 1e4, 5e7})
 	if err != nil {
 		t.Fatal(err)
@@ -135,6 +142,7 @@ func TestFig4DistributionShiftsLeft(t *testing.T) {
 }
 
 func TestFig5AgreementAndOverhead(t *testing.T) {
+	t.Parallel()
 	res, err := Fig5(core.DefaultSystem())
 	if err != nil {
 		t.Fatal(err)
@@ -159,6 +167,7 @@ func TestFig5AgreementAndOverhead(t *testing.T) {
 }
 
 func TestFig6Orderings(t *testing.T) {
+	t.Parallel()
 	res, err := Fig6(core.DefaultSystem())
 	if err != nil {
 		t.Fatal(err)
@@ -197,6 +206,7 @@ func TestFig6Orderings(t *testing.T) {
 }
 
 func TestFig7AccuracyStory(t *testing.T) {
+	t.Parallel()
 	res, err := Fig7(core.DefaultSystem())
 	if err != nil {
 		t.Fatal(err)
@@ -230,6 +240,7 @@ func TestFig7AccuracyStory(t *testing.T) {
 }
 
 func TestOverheadMatchesSectionVE(t *testing.T) {
+	t.Parallel()
 	res, err := Overhead(core.DefaultSystem())
 	if err != nil {
 		t.Fatal(err)
@@ -260,6 +271,7 @@ func TestOverheadMatchesSectionVE(t *testing.T) {
 }
 
 func TestRenderersProduceOutput(t *testing.T) {
+	t.Parallel()
 	// Smoke-render the cheap experiments end to end via their Run hooks.
 	for _, id := range []string{"tab1", "tab2", "fig3", "fig4", "overhead"} {
 		e, err := ByID(id)
@@ -277,6 +289,7 @@ func TestRenderersProduceOutput(t *testing.T) {
 }
 
 func TestDataFuncsPresent(t *testing.T) {
+	t.Parallel()
 	for _, e := range All() {
 		if e.Data == nil {
 			t.Errorf("%s has no Data func", e.ID)

@@ -90,7 +90,7 @@ func Fig8(sys core.System) (Fig8Result, error) {
 func cloneOf(name string) *dnn.Model {
 	m, err := dnn.ByName(name)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("experiments: clone workload: %v", err))
 	}
 	return m
 }

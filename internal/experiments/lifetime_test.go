@@ -10,6 +10,7 @@ import (
 )
 
 func TestLifetimeOrdering(t *testing.T) {
+	t.Parallel()
 	res, err := Lifetime(core.DefaultSystem())
 	if err != nil {
 		t.Fatal(err)
@@ -42,6 +43,7 @@ func TestLifetimeOrdering(t *testing.T) {
 }
 
 func TestNoCValidateTightBound(t *testing.T) {
+	t.Parallel()
 	res, err := NoCValidate(core.DefaultSystem())
 	if err != nil {
 		t.Fatal(err)
@@ -63,6 +65,7 @@ func TestNoCValidateTightBound(t *testing.T) {
 }
 
 func TestMobileNetExtension(t *testing.T) {
+	t.Parallel()
 	res, err := MobileNet(core.DefaultSystem())
 	if err != nil {
 		t.Fatal(err)
@@ -90,6 +93,7 @@ func TestMobileNetExtension(t *testing.T) {
 }
 
 func TestRowSkipValidation(t *testing.T) {
+	t.Parallel()
 	res, err := RowSkip(core.DefaultSystem(), []int{8, 16, 64})
 	if err != nil {
 		t.Fatal(err)
@@ -110,6 +114,7 @@ func TestRowSkipValidation(t *testing.T) {
 }
 
 func TestIndexesStorageArgument(t *testing.T) {
+	t.Parallel()
 	res, err := Indexes(core.DefaultSystem(), []int{8, 64})
 	if err != nil {
 		t.Fatal(err)

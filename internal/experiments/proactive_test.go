@@ -9,6 +9,7 @@ import (
 )
 
 func TestProactiveTriggerBehaviour(t *testing.T) {
+	t.Parallel()
 	res, err := Proactive(core.DefaultSystem(), []float64{1.2, 3})
 	if err != nil {
 		t.Fatal(err)
@@ -46,6 +47,7 @@ func TestProactiveTriggerBehaviour(t *testing.T) {
 }
 
 func TestConfidenceRoutingMonotone(t *testing.T) {
+	t.Parallel()
 	res, err := Confidence(core.DefaultSystem(), []float64{0.3, 0.8})
 	if err != nil {
 		t.Fatal(err)

@@ -24,6 +24,7 @@ func testEngine(t *testing.T) *Engine {
 }
 
 func TestEngineShapes(t *testing.T) {
+	t.Parallel()
 	e := testEngine(t)
 	in := RandomInputs(1, 1, 16, 16, "in")[0]
 	logits := e.Infer(in, Options{Ideal: true})
@@ -33,6 +34,7 @@ func TestEngineShapes(t *testing.T) {
 }
 
 func TestEngineRejectsBadCrossbar(t *testing.T) {
+	t.Parallel()
 	net := RandomNet(1, 16, 16, 4, "x")
 	if _, err := NewEngine(net, fineDevice(), 2); err == nil {
 		t.Fatal("crossbar size 2 accepted")
@@ -40,6 +42,7 @@ func TestEngineRejectsBadCrossbar(t *testing.T) {
 }
 
 func TestInferPanicsOnWrongInput(t *testing.T) {
+	t.Parallel()
 	e := testEngine(t)
 	defer func() {
 		if recover() == nil {
@@ -50,6 +53,7 @@ func TestInferPanicsOnWrongInput(t *testing.T) {
 }
 
 func TestIdealDeterministic(t *testing.T) {
+	t.Parallel()
 	e := testEngine(t)
 	in := RandomInputs(1, 1, 16, 16, "det")[0]
 	a := e.Infer(in, Options{Ideal: true})
@@ -62,6 +66,7 @@ func TestIdealDeterministic(t *testing.T) {
 }
 
 func TestFreshDeviceTracksIdeal(t *testing.T) {
+	t.Parallel()
 	// At t=0 with a small OU the non-ideal path should rarely flip classes.
 	e := testEngine(t)
 	inputs := RandomInputs(30, 1, 16, 16, "fresh")
@@ -72,6 +77,7 @@ func TestFreshDeviceTracksIdeal(t *testing.T) {
 }
 
 func TestFlipRateGrowsWithAge(t *testing.T) {
+	t.Parallel()
 	e := testEngine(t)
 	inputs := RandomInputs(40, 1, 16, 16, "age")
 	opts := func(tt float64) Options {
@@ -89,6 +95,7 @@ func TestFlipRateGrowsWithAge(t *testing.T) {
 }
 
 func TestReprogramRestoresBehaviour(t *testing.T) {
+	t.Parallel()
 	e := testEngine(t)
 	inputs := RandomInputs(30, 1, 16, 16, "reprog")
 	const tt = 1e8
@@ -107,6 +114,7 @@ func TestReprogramRestoresBehaviour(t *testing.T) {
 }
 
 func TestFlipRateEmptyInputs(t *testing.T) {
+	t.Parallel()
 	e := testEngine(t)
 	if e.FlipRate(nil, Options{}) != 0 {
 		t.Fatal("empty input set should have zero flip rate")
@@ -114,6 +122,7 @@ func TestFlipRateEmptyInputs(t *testing.T) {
 }
 
 func TestTensorAccessors(t *testing.T) {
+	t.Parallel()
 	tt := NewTensor(2, 3, 4)
 	tt.Set(1, 2, 3, 7)
 	if tt.At(1, 2, 3) != 7 {
@@ -125,6 +134,7 @@ func TestTensorAccessors(t *testing.T) {
 }
 
 func TestMaxPool(t *testing.T) {
+	t.Parallel()
 	in := NewTensor(1, 4, 4)
 	for y := 0; y < 4; y++ {
 		for x := 0; x < 4; x++ {
@@ -147,6 +157,7 @@ func TestMaxPool(t *testing.T) {
 }
 
 func TestRandomInputsDeterministic(t *testing.T) {
+	t.Parallel()
 	a := RandomInputs(2, 1, 4, 4, "s")
 	b := RandomInputs(2, 1, 4, 4, "s")
 	for i := range a {
@@ -159,6 +170,7 @@ func TestRandomInputsDeterministic(t *testing.T) {
 }
 
 func TestRandomNetLayerWiring(t *testing.T) {
+	t.Parallel()
 	net := RandomNet(3, 16, 16, 10, "wiring")
 	// conv(3,3→4), relu, pool, conv(3,4→8), pool, fc.
 	if len(net.Ops) != 6 {

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the inline suppression directive. The full syntax is
+//
+//	//lint:allow rule1[,rule2...] [-- reason]
+//
+// A directive suppresses the named rules on the line it appears on and on
+// the line directly below it, so both trailing and preceding placements
+// work:
+//
+//	start := time.Now() //lint:allow nondeterminism -- wall-clock report
+//
+//	//lint:allow nondeterminism -- wall-clock report
+//	start := time.Now()
+const allowPrefix = "//lint:allow"
+
+// allowIndex maps filename -> line -> set of allowed rule names.
+type allowIndex map[string]map[int]map[string]bool
+
+// allows reports whether rule is suppressed at file:line.
+func (idx allowIndex) allows(file string, line int, rule string) bool {
+	return idx[file][line][rule]
+}
+
+// buildAllowIndex scans every comment in files for allow directives.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := lines[line]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[line] = set
+					}
+					for _, r := range rules {
+						set[r] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllow extracts the rule list from a single comment, if it is an
+// allow directive.
+func parseAllow(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, allowPrefix)
+	if !ok {
+		return nil, false
+	}
+	// Require a space (or end) after the prefix so "//lint:allowx" does
+	// not parse.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false
+	}
+	// Strip an optional trailing "-- reason".
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	var rules []string
+	for _, field := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if field != "" {
+			rules = append(rules, field)
+		}
+	}
+	return rules, len(rules) > 0
+}

@@ -1,0 +1,541 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkSource type-checks a single fixture file as the package at
+// importPath and runs one analyzer over it, allow directives applied.
+// Fixtures deliberately seed violations, which is exactly why the loader
+// never feeds test files to the analyzers.
+func checkSource(t *testing.T, a *Analyzer, importPath, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	tpkg, err := conf.Check(importPath, fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	pkg := &Package{
+		ModulePath: "odin",
+		Path:       importPath,
+		Fset:       fset,
+		Files:      []*ast.File{file},
+		Types:      tpkg,
+		Info:       info,
+	}
+	return Run([]*Package{pkg}, []*Analyzer{a}, Config{})
+}
+
+// wantDiags asserts that got matches the expected "line:rule" set exactly.
+func wantDiags(t *testing.T, got []Diagnostic, want ...string) {
+	t.Helper()
+	var gotKeys []string
+	for _, d := range got {
+		gotKeys = append(gotKeys, fmt.Sprintf("%d:%s", d.Pos.Line, d.Rule))
+	}
+	if len(gotKeys) != len(want) {
+		t.Fatalf("got %d diagnostics %v, want %d %v\nfull: %v", len(gotKeys), gotKeys, len(want), want, got)
+	}
+	for i := range want {
+		if gotKeys[i] != want[i] {
+			t.Fatalf("diagnostic %d = %s, want %s\nfull: %v", i, gotKeys[i], want[i], got)
+		}
+	}
+}
+
+func TestNondeterminism(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		path string
+		src  string
+		want []string
+	}{
+		{
+			name: "math rand import",
+			path: "odin/internal/fixture",
+			src: `package fixture
+import "math/rand"
+func F() int { return rand.Int() }
+`,
+			want: []string{"2:nondeterminism"},
+		},
+		{
+			name: "time now and since",
+			path: "odin/internal/fixture",
+			src: `package fixture
+import "time"
+func F() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`,
+			want: []string{"4:nondeterminism", "5:nondeterminism"},
+		},
+		{
+			name: "time now flagged even in cmd layer",
+			path: "odin/cmd/fixture",
+			src: `package main
+import "time"
+func F() time.Time { return time.Now() }
+`,
+			want: []string{"3:nondeterminism"},
+		},
+		{
+			name: "float accumulation over map",
+			path: "odin/internal/fixture",
+			src: `package fixture
+func F(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`,
+			want: []string{"5:nondeterminism"},
+		},
+		{
+			name: "output inside map range",
+			path: "odin/internal/fixture",
+			src: `package fixture
+import (
+	"fmt"
+	"io"
+)
+func F(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+`,
+			want: []string{"8:nondeterminism"},
+		},
+		{
+			name: "sanctioned collect-and-sort pattern is clean",
+			path: "odin/internal/fixture",
+			src: `package fixture
+import "sort"
+func F(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+`,
+			want: nil,
+		},
+		{
+			name: "int accumulation over map is order-insensitive",
+			path: "odin/internal/fixture",
+			src: `package fixture
+func F(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+`,
+			want: nil,
+		},
+		{
+			name: "map range heuristics skipped in cmd layer",
+			path: "odin/cmd/fixture",
+			src: `package main
+func F(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`,
+			want: nil,
+		},
+		{
+			name: "trailing allow directive suppresses",
+			path: "odin/internal/fixture",
+			src: `package fixture
+import "time"
+func F() time.Time {
+	return time.Now() //lint:allow nondeterminism -- wall-clock report
+}
+`,
+			want: nil,
+		},
+		{
+			name: "preceding-line allow directive suppresses",
+			path: "odin/internal/fixture",
+			src: `package fixture
+import "time"
+func F() time.Time {
+	//lint:allow nondeterminism
+	return time.Now()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "allow directive for a different rule does not suppress",
+			path: "odin/internal/fixture",
+			src: `package fixture
+import "time"
+func F() time.Time {
+	return time.Now() //lint:allow floateq
+}
+`,
+			want: []string{"4:nondeterminism"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			wantDiags(t, checkSource(t, NondeterminismAnalyzer, tt.path, tt.src), tt.want...)
+		})
+	}
+}
+
+func TestFloateq(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "float equality flagged",
+			src: `package fixture
+func F(a, b float64) bool { return a == b }
+`,
+			want: []string{"2:floateq"},
+		},
+		{
+			name: "float inequality flagged",
+			src: `package fixture
+func F(a float32) bool { return a != 0.5 }
+`,
+			want: []string{"2:floateq"},
+		},
+		{
+			name: "exact-zero guard allowed",
+			src: `package fixture
+func F(a float64) bool { return a == 0 }
+`,
+			want: nil,
+		},
+		{
+			name: "integer equality allowed",
+			src: `package fixture
+func F(a, b int) bool { return a == b }
+`,
+			want: nil,
+		},
+		{
+			name: "struct with float field flagged",
+			src: `package fixture
+type Cost struct {
+	Energy  float64
+	Cycles  int
+}
+func F(a, b Cost) bool { return a == b }
+`,
+			want: []string{"6:floateq"},
+		},
+		{
+			name: "int-only struct allowed",
+			src: `package fixture
+type Size struct{ R, C int }
+func F(a, b Size) bool { return a == b }
+`,
+			want: nil,
+		},
+		{
+			name: "constant fold allowed",
+			src: `package fixture
+const x = 1.5
+func F() bool { return x == 1.5 }
+`,
+			want: nil,
+		},
+		{
+			name: "allow directive suppresses",
+			src: `package fixture
+func F(a, b float64) bool {
+	return a == b //lint:allow floateq -- bit-exact replay check
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			wantDiags(t, checkSource(t, FloateqAnalyzer, "odin/internal/fixture", tt.src), tt.want...)
+		})
+	}
+}
+
+func TestUnitmix(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "energy plus latency flagged",
+			src: `package fixture
+func F(totalEnergyPJ, readLatencyNs float64) float64 {
+	return totalEnergyPJ + readLatencyNs
+}
+`,
+			want: []string{"3:unitmix"},
+		},
+		{
+			name: "selector fields flagged",
+			src: `package fixture
+type Report struct {
+	EnergyPJ float64
+	AreaMM2  float64
+}
+func F(r Report) float64 { return r.EnergyPJ - r.AreaMM2 }
+`,
+			want: []string{"6:unitmix"},
+		},
+		{
+			name: "compound assignment flagged",
+			src: `package fixture
+func F(latencySeconds, tileAreaMM2 float64) float64 {
+	latencySeconds += tileAreaMM2
+	return latencySeconds
+}
+`,
+			want: []string{"3:unitmix"},
+		},
+		{
+			name: "same family allowed",
+			src: `package fixture
+func F(readEnergyPJ, writeEnergyPJ float64) float64 {
+	return readEnergyPJ + writeEnergyPJ
+}
+`,
+			want: nil,
+		},
+		{
+			name: "multiplication changes units legitimately",
+			src: `package fixture
+func F(powerW, latencySeconds, energyJoules float64) float64 {
+	return energyJoules / latencySeconds * powerW
+}
+`,
+			want: nil,
+		},
+		{
+			name: "unknown operand not flagged",
+			src: `package fixture
+func F(energyPJ, x float64) float64 { return energyPJ + x }
+`,
+			want: nil,
+		},
+		{
+			name: "allow directive suppresses",
+			src: `package fixture
+func F(energyPJ, latencyNs float64) float64 {
+	return energyPJ + latencyNs //lint:allow unitmix -- weighted objective, dimensionless by construction
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			wantDiags(t, checkSource(t, UnitmixAnalyzer, "odin/internal/fixture", tt.src), tt.want...)
+		})
+	}
+}
+
+func TestPanicmsg(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "prefixed literal allowed",
+			src: `package fixture
+func F() { panic("fixture: boom") }
+`,
+			want: nil,
+		},
+		{
+			name: "unprefixed literal flagged",
+			src: `package fixture
+func F() { panic("boom") }
+`,
+			want: []string{"2:panicmsg"},
+		},
+		{
+			name: "wrong package prefix flagged",
+			src: `package fixture
+func F() { panic("other: boom") }
+`,
+			want: []string{"2:panicmsg"},
+		},
+		{
+			name: "prefixed sprintf allowed",
+			src: `package fixture
+import "fmt"
+func F(n int) { panic(fmt.Sprintf("fixture: bad n %d", n)) }
+`,
+			want: nil,
+		},
+		{
+			name: "unprefixed sprintf flagged",
+			src: `package fixture
+import "fmt"
+func F(n int) { panic(fmt.Sprintf("bad n %d", n)) }
+`,
+			want: []string{"3:panicmsg"},
+		},
+		{
+			name: "bare error value flagged",
+			src: `package fixture
+func F(err error) { panic(err) }
+`,
+			want: []string{"2:panicmsg"},
+		},
+		{
+			name: "allow directive suppresses",
+			src: `package fixture
+func F(err error) {
+	panic(err) //lint:allow panicmsg -- re-panic of recovered value
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			wantDiags(t, checkSource(t, PanicmsgAnalyzer, "odin/internal/fixture", tt.src), tt.want...)
+		})
+	}
+}
+
+func TestErrcheck(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "dropped error statement flagged",
+			src: `package fixture
+import "os"
+func F() { os.Remove("x") }
+`,
+			want: []string{"3:errcheck"},
+		},
+		{
+			name: "dropped error in defer flagged",
+			src: `package fixture
+import "os"
+func F(f *os.File) { defer f.Close() }
+`,
+			want: []string{"3:errcheck"},
+		},
+		{
+			name: "explicit blank assignment allowed",
+			src: `package fixture
+import "os"
+func F() { _ = os.Remove("x") }
+`,
+			want: nil,
+		},
+		{
+			name: "handled error allowed",
+			src: `package fixture
+import "os"
+func F() error { return os.Remove("x") }
+`,
+			want: nil,
+		},
+		{
+			name: "fmt print family excluded",
+			src: `package fixture
+import (
+	"fmt"
+	"io"
+)
+func F(w io.Writer) {
+	fmt.Fprintf(w, "row\n")
+	fmt.Println("done")
+}
+`,
+			want: nil,
+		},
+		{
+			name: "bytes buffer excluded",
+			src: `package fixture
+import "bytes"
+func F(b *bytes.Buffer) { b.WriteString("x") }
+`,
+			want: nil,
+		},
+		{
+			name: "hash write flagged",
+			src: `package fixture
+import "hash/fnv"
+func F() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte("label"))
+	return h.Sum64()
+}
+`,
+			want: []string{"5:errcheck"},
+		},
+		{
+			name: "allow directive suppresses",
+			src: `package fixture
+import "os"
+func F(f *os.File) {
+	defer f.Close() //lint:allow errcheck -- read-only handle
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			wantDiags(t, checkSource(t, ErrcheckAnalyzer, "odin/internal/fixture", tt.src), tt.want...)
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckAnalyzer flags silently dropped error returns: a call whose
+// result list ends in error, used as a bare statement (including go/defer
+// statements — the classic unchecked `defer f.Close()`). An explicit
+// blank assignment (`_ = f()` / `_, _ = h.Write(b)`) is visible intent
+// and is not flagged.
+//
+// Documented exclusions (see DESIGN.md): the fmt print family
+// (fmt.Print*, fmt.Fprint*) — the experiment printers emit thousands of
+// rows through an io.Writer and a write error there surfaces at the
+// caller — and methods on *bytes.Buffer / *strings.Builder, whose error
+// results are documented to always be nil.
+var ErrcheckAnalyzer = &Analyzer{
+	Name: "errcheck",
+	Doc:  "forbid silently dropped error returns (use explicit `_ =` when a drop is intended)",
+	Run:  runErrcheck,
+}
+
+func runErrcheck(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(n.X).(*ast.CallExpr)
+				how = "call"
+			case *ast.GoStmt:
+				call = n.Call
+				how = "go statement"
+			case *ast.DeferStmt:
+				call = n.Call
+				how = "defer statement"
+			default:
+				return true
+			}
+			if call == nil || !p.returnsError(call) || p.errcheckExcluded(call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s drops its error result; handle it or assign explicitly to _", how)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's final result is error (or a
+// concrete type assignable to it).
+func (p *Pass) returnsError(call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	var last types.Type
+	switch r := t.(type) {
+	case *types.Tuple:
+		if r.Len() == 0 {
+			return false
+		}
+		last = r.At(r.Len() - 1).Type()
+	default:
+		last = r
+	}
+	errType := types.Universe.Lookup("error").Type()
+	return types.AssignableTo(last, errType)
+}
+
+// errcheckExcluded applies the documented exclusion list.
+func (p *Pass) errcheckExcluded(call *ast.CallExpr) bool {
+	fn := p.CalleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		switch typeString(recv.Type()) {
+		case "*bytes.Buffer", "*strings.Builder":
+			return true
+		}
+	}
+	return false
+}
+
+// typeString renders a receiver type as "*pkg.Name" / "pkg.Name".
+func typeString(t types.Type) string {
+	ptr := ""
+	if pt, ok := t.(*types.Pointer); ok {
+		ptr = "*"
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return ptr + named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}

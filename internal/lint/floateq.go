@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloateqAnalyzer flags == and != between floating-point operands, and
+// between composite (struct/array) operands that contain floating-point
+// fields, where rounding makes equality meaningless. Two carve-outs, both
+// IEEE-754-exact and documented in DESIGN.md:
+//
+//   - comparison against the exact constant 0 (the zero-weight /
+//     division-guard idiom used throughout the analytic models);
+//   - comparisons where both sides are constants (evaluated exactly at
+//     compile time).
+var FloateqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on floating-point values (exact-zero guards excepted); use a tolerance",
+	Run:  runFloateq,
+}
+
+func runFloateq(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			lt, rt := p.TypeOf(bin.X), p.TypeOf(bin.Y)
+			if lt == nil || rt == nil {
+				return true
+			}
+			if !hasFloatComponent(lt, nil) && !hasFloatComponent(rt, nil) {
+				return true
+			}
+			if p.isExactZero(bin.X) || p.isExactZero(bin.Y) {
+				return true
+			}
+			if p.isConst(bin.X) && p.isConst(bin.Y) {
+				return true
+			}
+			what := "floating-point values"
+			if !isFloat(lt) && !isFloat(rt) {
+				what = "composite values with floating-point fields"
+			}
+			p.Reportf(bin.Pos(), "%s compared with %s; compare with a tolerance (or an exact-zero guard)", what, bin.Op)
+			return true
+		})
+	}
+}
+
+// isExactZero reports whether expr is a constant whose value is exactly
+// zero.
+func (p *Pass) isExactZero(expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+func (p *Pass) isConst(expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	return ok && tv.Value != nil
+}
+
+// hasFloatComponent reports whether t is a float or a struct/array
+// containing one, following value (not pointer/map/slice) structure.
+func hasFloatComponent(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasFloatComponent(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return hasFloatComponent(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestModuleIsClean runs the full analyzer registry over the real module
+// — the same invocation as `go run ./cmd/odinlint ./...` and the CI gate.
+// Any new violation of the determinism / float / unit / panic / error
+// contracts fails this test; fix the code or add a justified
+// //lint:allow directive at the site.
+func TestModuleIsClean(t *testing.T) {
+	t.Parallel()
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing module packages", len(pkgs))
+	}
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		seen[p.Path] = true
+	}
+	for _, want := range []string{"odin", "odin/internal/rng", "odin/internal/lint", "odin/cmd/odinlint", "odin/internal/experiments"} {
+		if !seen[want] {
+			t.Fatalf("package %s not loaded; got %d packages", want, len(pkgs))
+		}
+	}
+	diags := Run(pkgs, Analyzers(), Config{})
+	if len(diags) > 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString("\n  ")
+			b.WriteString(d.String())
+		}
+		t.Fatalf("module has %d lint finding(s):%s", len(diags), b.String())
+	}
+}

@@ -1,0 +1,211 @@
+// Package lint is a project-specific static-analysis suite for the Odin
+// reproduction. It enforces the invariants the Go compiler cannot see but
+// the paper's reproducibility rests on:
+//
+//   - determinism: every stochastic quantity must flow from internal/rng
+//     (SplitMix64, labelled streams) — no math/rand, no wall-clock reads,
+//     no order-sensitive work driven by map iteration;
+//   - float correctness: no ==/!= between floating-point values (the sole
+//     sanctioned exception is comparison against the exact constant 0,
+//     which is IEEE-754-exact and used as a guard idiom throughout);
+//   - unit safety: identifiers from different unit families (energy,
+//     latency, area) must not be added or subtracted;
+//   - panic hygiene: panic messages carry the "pkg: " prefix convention;
+//   - error hygiene: error returns must not be silently dropped.
+//
+// The suite is built only on the standard library (go/parser, go/ast,
+// go/types, go/importer) — no golang.org/x/tools dependency — so it runs
+// anywhere the Go toolchain runs. Diagnostics may be suppressed at a call
+// site with a "//lint:allow <rule>[,<rule>...]" comment on the offending
+// line or the line directly above it, or globally via Config path prefixes.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule that fired, and a
+// human-readable message. String renders the canonical
+// "file:line:col: rule: message" form.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one named rule. Run inspects a single type-checked package
+// via the Pass and reports findings through Pass.Reportf.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics and allow directives.
+	Name string
+	// Doc is a one-line description shown by `odinlint -list`.
+	Doc string
+	// Run executes the rule against one package.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// ModulePath is the module's import path (e.g. "odin").
+	ModulePath string
+	// Path is the package's import path (e.g. "odin/internal/rng").
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic for the running analyzer at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// InCommandLayer reports whether the package is a main-adjacent layer
+// (cmd/ or examples/) rather than simulation-core code. Some rules — the
+// map-iteration determinism heuristics — only apply to core packages,
+// where iteration order leaks into published numbers.
+func (p *Pass) InCommandLayer() bool {
+	rel := strings.TrimPrefix(p.Path, p.ModulePath)
+	rel = strings.TrimPrefix(rel, "/")
+	return strings.HasPrefix(rel, "cmd/") || strings.HasPrefix(rel, "examples/") ||
+		rel == "cmd" || rel == "examples"
+}
+
+// TypeOf returns the type of expr, or nil if untracked.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[expr]; ok {
+		return tv.Type
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// CalleeFunc resolves the *types.Func called by a call expression, looking
+// through selector and plain-identifier callees. It returns nil for
+// builtins, conversions, and calls of function-typed values.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// Analyzers returns the full registry in deterministic (alphabetical)
+// order.
+func Analyzers() []*Analyzer {
+	all := []*Analyzer{
+		ErrcheckAnalyzer,
+		FloateqAnalyzer,
+		NondeterminismAnalyzer,
+		PanicmsgAnalyzer,
+		UnitmixAnalyzer,
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}
+
+// ByName returns the registered analyzer with the given rule name.
+func ByName(name string) (*Analyzer, error) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+}
+
+// Config controls rule-level exemptions that are too broad for inline
+// allow directives.
+type Config struct {
+	// Exempt maps a rule name to slash-separated path prefixes (relative
+	// to the module root, e.g. "cmd/") whose files are exempt from that
+	// rule. The special rule name "*" exempts a prefix from every rule.
+	Exempt map[string][]string
+}
+
+// exempts reports whether cfg exempts rule for the file at relPath.
+func (cfg Config) exempts(rule, relPath string) bool {
+	for _, r := range []string{rule, "*"} {
+		for _, prefix := range cfg.Exempt[r] {
+			if strings.HasPrefix(relPath, prefix) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run executes the given analyzers over every package and returns the
+// surviving diagnostics (inline allow directives and config exemptions
+// applied), sorted by file, line, column, then rule.
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			var raw []Diagnostic
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				ModulePath: pkg.ModulePath,
+				Path:       pkg.Path,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				diags:      &raw,
+			}
+			a.Run(pass)
+			for _, d := range raw {
+				if allow.allows(d.Pos.Filename, d.Pos.Line, a.Name) {
+					continue
+				}
+				if cfg.exempts(a.Name, pkg.relFile(d.Pos.Filename)) {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}

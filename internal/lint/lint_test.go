@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module on disk and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const testGoMod = "module example.com/tmpmod\n\ngo 1.24\n"
+
+func TestLoadResolvesModuleImports(t *testing.T) {
+	t.Parallel()
+	dir := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"root.go": `package tmpmod
+import "example.com/tmpmod/internal/sub"
+func Root() int { return sub.Value() }
+`,
+		"internal/sub/sub.go": `package sub
+func Value() int { return 42 }
+`,
+		// Test files must never be analyzed: they may seed violations.
+		"internal/sub/sub_test.go": `package sub
+import "math/rand"
+func helper() int { return rand.Int() }
+`,
+	})
+	pkgs, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"example.com/tmpmod", "example.com/tmpmod/internal/sub"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("loaded %v, want %v", paths, want)
+	}
+	if diags := Run(pkgs, Analyzers(), Config{}); len(diags) != 0 {
+		t.Fatalf("clean module produced diagnostics: %v", diags)
+	}
+}
+
+func TestLoadPatternSubset(t *testing.T) {
+	t.Parallel()
+	dir := writeModule(t, map[string]string{
+		"go.mod":      testGoMod,
+		"a/a.go":      "package a\nfunc A() {}\n",
+		"b/b.go":      "package b\nfunc B() {}\n",
+		"b/deep/d.go": "package deep\nfunc D() {}\n",
+	})
+	pkgs, err := Load(dir, []string{"./b/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"example.com/tmpmod/b", "example.com/tmpmod/b/deep"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("loaded %v, want %v", paths, want)
+	}
+
+	if _, err := Load(dir, []string{"./nope"}); err == nil {
+		t.Fatal("expected error for pattern matching no packages")
+	}
+
+	single, err := Load(dir, []string{"./a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != 1 || single[0].Path != "example.com/tmpmod/a" {
+		t.Fatalf("single-dir pattern loaded %v", single)
+	}
+}
+
+func TestLoadReportsTypeErrors(t *testing.T) {
+	t.Parallel()
+	dir := writeModule(t, map[string]string{
+		"go.mod":      testGoMod,
+		"bad/bad.go":  "package bad\nfunc F() int { return \"not an int\" }\n",
+		"good/get.go": "package good\nfunc G() {}\n",
+	})
+	if _, err := Load(dir, []string{"./bad"}); err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("want type-checking error, got %v", err)
+	}
+}
+
+func TestConfigExemption(t *testing.T) {
+	t.Parallel()
+	dir := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"cmd/tool/main.go": `package main
+import "time"
+func main() { _ = time.Now() }
+`,
+	})
+	pkgs, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkgs, Analyzers(), Config{}); len(diags) != 1 {
+		t.Fatalf("want 1 finding without exemption, got %v", diags)
+	}
+	cfg := Config{Exempt: map[string][]string{"nondeterminism": {"cmd/"}}}
+	if diags := Run(pkgs, Analyzers(), cfg); len(diags) != 0 {
+		t.Fatalf("want 0 findings with cmd/ exemption, got %v", diags)
+	}
+	star := Config{Exempt: map[string][]string{"*": {"cmd/"}}}
+	if diags := Run(pkgs, Analyzers(), star); len(diags) != 0 {
+		t.Fatalf("want 0 findings with wildcard exemption, got %v", diags)
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		text  string
+		rules []string
+		ok    bool
+	}{
+		{"//lint:allow floateq", []string{"floateq"}, true},
+		{"//lint:allow floateq,errcheck", []string{"floateq", "errcheck"}, true},
+		{"//lint:allow floateq, errcheck -- replay check", []string{"floateq", "errcheck"}, true},
+		{"//lint:allow nondeterminism -- wall clock", []string{"nondeterminism"}, true},
+		{"//lint:allow", nil, false},
+		{"//lint:allowx floateq", nil, false},
+		{"// lint:allow floateq", nil, false},
+		{"//lint:allow -- reason only", nil, false},
+	}
+	for _, tt := range tests {
+		rules, ok := parseAllow(tt.text)
+		if ok != tt.ok || !reflect.DeepEqual(rules, tt.rules) {
+			t.Errorf("parseAllow(%q) = %v, %v; want %v, %v", tt.text, rules, ok, tt.rules, tt.ok)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	t.Parallel()
+	for _, want := range []string{"nondeterminism", "floateq", "unitmix", "panicmsg", "errcheck"} {
+		a, err := ByName(want)
+		if err != nil || a.Name != want {
+			t.Fatalf("ByName(%q) = %v, %v", want, a, err)
+		}
+	}
+	if _, err := ByName("nosuchrule"); err == nil {
+		t.Fatal("ByName should reject unknown rules")
+	}
+	if len(Analyzers()) != 5 {
+		t.Fatalf("registry has %d analyzers, want 5", len(Analyzers()))
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	t.Parallel()
+	d := Diagnostic{Rule: "floateq", Message: "bad compare"}
+	d.Pos.Filename = "x/y.go"
+	d.Pos.Line = 7
+	d.Pos.Column = 3
+	if got, want := d.String(), "x/y.go:7:3: floateq: bad compare"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis.
+type Package struct {
+	// ModulePath is the module path from go.mod (e.g. "odin").
+	ModulePath string
+	// Path is the package import path (e.g. "odin/internal/rng").
+	Path string
+	// Dir is the absolute directory holding the package sources, and
+	// ModuleDir the absolute module root.
+	Dir       string
+	ModuleDir string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// relFile returns filename relative to the module root, in slash form, for
+// Config prefix matching. Filenames outside the module are returned as-is.
+func (p *Package) relFile(filename string) string {
+	if r, err := filepath.Rel(p.ModuleDir, filename); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// Load parses and type-checks the module packages selected by patterns,
+// resolved relative to moduleDir (the directory containing go.mod).
+// Supported patterns: "./..." (every package), "./dir/..." (subtree), and
+// "./dir" (single package). Test files are not loaded: the invariants the
+// suite enforces guard the simulation outputs, and fixtures under test
+// deliberately violate them.
+func Load(moduleDir string, patterns []string) ([]*Package, error) {
+	moduleDir, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modulePath, err := readModulePath(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// Index every package directory in the module up front so imports of
+	// unselected packages still resolve.
+	allDirs, err := packageDirs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	dirByPath := make(map[string]string, len(allDirs))
+	for _, dir := range allDirs {
+		dirByPath[importPathFor(modulePath, moduleDir, dir)] = dir
+	}
+
+	selected, err := expandPatterns(moduleDir, allDirs, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:       fset,
+		moduleDir:  moduleDir,
+		modulePath: modulePath,
+		dirByPath:  dirByPath,
+		stdlib:     importer.Default(),
+		cache:      make(map[string]*Package),
+		checking:   make(map[string]bool),
+	}
+	var pkgs []*Package
+	for _, dir := range selected {
+		pkg, err := ld.load(importPathFor(modulePath, moduleDir, dir))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// loader type-checks module packages on demand, in import-dependency
+// order, caching results. Standard-library imports go through the
+// compiler's export data (fast) with a from-source fallback, so the suite
+// needs nothing beyond a working toolchain.
+type loader struct {
+	fset       *token.FileSet
+	moduleDir  string
+	modulePath string
+	dirByPath  map[string]string
+	stdlib     types.Importer
+	stdlibSrc  types.Importer
+	cache      map[string]*Package
+	checking   map[string]bool
+}
+
+// Import implements types.Importer so the loader can hand itself to
+// types.Config and resolve both module-local and stdlib imports.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := ld.dirByPath[path]; ok {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	tp, err := ld.stdlib.Import(path)
+	if err == nil {
+		return tp, nil
+	}
+	// Export data missing (e.g. cold build cache): fall back to
+	// type-checking the stdlib package from GOROOT source.
+	if ld.stdlibSrc == nil {
+		ld.stdlibSrc = importer.ForCompiler(ld.fset, "source", nil)
+	}
+	return ld.stdlibSrc.Import(path)
+}
+
+func (ld *loader) load(path string) (*Package, error) {
+	if pkg, ok := ld.cache[path]; ok {
+		return pkg, nil
+	}
+	if ld.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	ld.checking[path] = true
+	defer delete(ld.checking, path)
+
+	dir, ok := ld.dirByPath[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %q not found in module %s", path, ld.modulePath)
+	}
+	files, err := parseDir(ld.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, ld.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
+	}
+	pkg := &Package{
+		ModulePath: ld.modulePath,
+		Path:       path,
+		Dir:        dir,
+		ModuleDir:  ld.moduleDir,
+		Fset:       ld.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	ld.cache[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every non-test .go file in dir, sorted by name for
+// deterministic diagnostics.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// goFileNames lists the buildable non-test .go files in dir, sorted.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") ||
+			strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// packageDirs walks moduleDir and returns every directory containing at
+// least one non-test .go file, skipping hidden dirs and testdata.
+func packageDirs(moduleDir string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != moduleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		names, err := goFileNames(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// expandPatterns resolves command-line package patterns to directories.
+func expandPatterns(moduleDir string, allDirs []string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			for _, d := range allDirs {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(moduleDir, strings.TrimSuffix(pat, "/..."))
+			matched := false
+			for _, d := range allDirs {
+				if d == root || strings.HasPrefix(d, root+string(filepath.Separator)) {
+					add(d)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+			}
+		default:
+			dir := filepath.Join(moduleDir, pat)
+			names, err := goFileNames(dir)
+			if err != nil || len(names) == 0 {
+				return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+			}
+			add(dir)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// importPathFor maps a package directory to its import path within the
+// module.
+func importPathFor(modulePath, moduleDir, dir string) string {
+	rel, err := filepath.Rel(moduleDir, dir)
+	if err != nil || rel == "." {
+		return modulePath
+	}
+	return modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w (run from the module root?)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mp := strings.TrimSpace(strings.Trim(strings.TrimSpace(rest), `"`))
+			if mp != "" {
+				return mp, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module path in %s", gomod)
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// NondeterminismAnalyzer enforces the repository's determinism contract:
+// all randomness flows from internal/rng, no wall-clock reads influence
+// results, and map iteration (randomized per run by the Go runtime) never
+// drives order-sensitive computation.
+//
+// Three checks:
+//
+//  1. importing math/rand or math/rand/v2 is forbidden everywhere;
+//  2. calling time.Now or time.Since is forbidden everywhere (allowlist
+//     the rare legitimate wall-clock progress report);
+//  3. inside core packages (everything but cmd/ and examples/), ranging
+//     over a map is flagged when the body accumulates floating-point
+//     values into an outer variable (iteration order changes rounding) or
+//     emits output (iteration order changes the artefact byte stream).
+//     Collecting keys into a slice and sorting is the sanctioned pattern
+//     and is not flagged.
+var NondeterminismAnalyzer = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid math/rand, time.Now/Since, and order-sensitive map iteration; internal/rng is the only randomness source",
+	Run:  runNondeterminism,
+}
+
+var forbiddenImports = map[string]string{
+	"math/rand":    "use internal/rng (SplitMix64 labelled streams) instead",
+	"math/rand/v2": "use internal/rng (SplitMix64 labelled streams) instead",
+}
+
+var forbiddenTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runNondeterminism(p *Pass) {
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := forbiddenImports[path]; ok {
+				p.Reportf(imp.Pos(), "import of %s is forbidden: %s", path, why)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := p.CalleeFunc(n); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "time" && forbiddenTimeFuncs[fn.Name()] {
+					p.Reportf(n.Pos(), "time.%s reads the wall clock; results must not depend on it", fn.Name())
+				}
+			case *ast.RangeStmt:
+				p.checkMapRange(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags order-sensitive work inside a range over a map.
+func (p *Pass) checkMapRange(rng *ast.RangeStmt) {
+	if p.InCommandLayer() {
+		return
+	}
+	t := p.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if !isAccumOp(n.Tok) {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.ObjectOf(id)
+				if obj == nil || !isFloat(obj.Type()) {
+					continue
+				}
+				// Only accumulation into variables that outlive the loop
+				// is order-sensitive.
+				if obj.Pos() < rng.Pos() || obj.Pos() > rng.End() {
+					p.Reportf(n.Pos(), "floating-point accumulation into %q over map iteration is order-sensitive; iterate a sorted key slice", id.Name)
+				}
+			}
+		case *ast.CallExpr:
+			fn := p.CalleeFunc(n)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print")) {
+				p.Reportf(n.Pos(), "output via fmt.%s inside map iteration has per-run ordering; iterate a sorted key slice", fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+func isAccumOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

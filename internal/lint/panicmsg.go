@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// PanicmsgAnalyzer enforces the repository's panic-message convention:
+// every panic carries a "pkg: " prefix naming the package that raised it
+// (as in `panic("mat: Dot length mismatch")`), so a stack-less crash
+// report still localizes the fault. A panic argument must be either a
+// constant string with the prefix, or a fmt.Sprintf / fmt.Errorf call
+// whose constant format string has the prefix. Anything else — a bare
+// `panic(err)`, a computed string — is flagged.
+var PanicmsgAnalyzer = &Analyzer{
+	Name: "panicmsg",
+	Doc:  "panic messages must carry the \"pkg: \" prefix convention",
+	Run:  runPanicmsg,
+}
+
+func runPanicmsg(p *Pass) {
+	want := p.Pkg.Name() + ": "
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := p.Info.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			if msg, ok := p.constString(arg); ok {
+				if !strings.HasPrefix(msg, want) {
+					p.Reportf(arg.Pos(), "panic message %q must start with %q", msg, want)
+				}
+				return true
+			}
+			if format, ok := p.formatCallString(arg); ok {
+				if !strings.HasPrefix(format, want) {
+					p.Reportf(arg.Pos(), "panic format %q must start with %q", format, want)
+				}
+				return true
+			}
+			p.Reportf(arg.Pos(), "panic argument must be a %q-prefixed string or fmt.Sprintf/fmt.Errorf with a prefixed format (wrap errors: fmt.Sprintf(%q, err))", want, want+"%v")
+			return true
+		})
+	}
+}
+
+// constString returns the constant string value of expr, if any.
+func (p *Pass) constString(expr ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatCallString returns the constant format string of a
+// fmt.Sprintf/fmt.Errorf/fmt.Sprint call used as a panic argument.
+func (p *Pass) formatCallString(expr ast.Expr) (string, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	fn := p.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Sprintf", "Errorf", "Sprint", "Sprintln":
+	default:
+		return "", false
+	}
+	return p.constString(ast.Unparen(call.Args[0]))
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// UnitmixAnalyzer is a heuristic unit-safety check for the analytic cost
+// models. Energy (J/pJ), latency (s/ns/cycles) and area (mm²/µm²)
+// quantities all live in plain float64s; the type system cannot stop
+// `energy + latency`. The analyzer classifies identifier names into unit
+// families and flags + / - (and += / -=) whose operands belong to
+// different families. Multiplication and division are never flagged —
+// they legitimately change units (power × time = energy).
+var UnitmixAnalyzer = &Analyzer{
+	Name: "unitmix",
+	Doc:  "forbid adding/subtracting quantities from different unit families (energy vs latency vs area)",
+	Run:  runUnitmix,
+}
+
+// unitFamily classifies an identifier name by its unit vocabulary.
+// Matching is on name fragments, case-sensitively for the exported
+// spellings used across the repo (EnergyPJ, LatencyNs, AreaMM2, ...).
+type unitFamily int
+
+const (
+	unitUnknown unitFamily = iota
+	unitEnergy
+	unitLatency
+	unitArea
+)
+
+func (f unitFamily) String() string {
+	switch f {
+	case unitEnergy:
+		return "energy"
+	case unitLatency:
+		return "latency"
+	case unitArea:
+		return "area"
+	}
+	return "unknown"
+}
+
+// familyFragments maps name fragments to families. Longer, more specific
+// fragments are matched via strings.Contains on the identifier name.
+var familyFragments = []struct {
+	fragment string
+	family   unitFamily
+}{
+	{"Energy", unitEnergy},
+	{"Joule", unitEnergy},
+	{"joule", unitEnergy},
+	{"energy", unitEnergy},
+	{"Latency", unitLatency},
+	{"latency", unitLatency},
+	{"Seconds", unitLatency},
+	{"seconds", unitLatency},
+	{"Makespan", unitLatency},
+	{"Area", unitArea},
+	{"area", unitArea},
+	{"MM2", unitArea},
+	{"UM2", unitArea},
+}
+
+// nameFamily classifies a bare identifier name.
+func nameFamily(name string) unitFamily {
+	for _, ff := range familyFragments {
+		if strings.Contains(name, ff.fragment) {
+			return ff.family
+		}
+	}
+	return unitUnknown
+}
+
+// exprFamily classifies an expression: identifiers and field selectors by
+// name; parentheses and unary +/- transparently; calls by the callee's
+// name (EnergyPJ() is still an energy).
+func exprFamily(expr ast.Expr) unitFamily {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return nameFamily(e.Name)
+	case *ast.SelectorExpr:
+		return nameFamily(e.Sel.Name)
+	case *ast.ParenExpr:
+		return exprFamily(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return exprFamily(e.X)
+		}
+	case *ast.CallExpr:
+		return exprFamily(e.Fun)
+	case *ast.IndexExpr:
+		return exprFamily(e.X)
+	}
+	return unitUnknown
+}
+
+func runUnitmix(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.ADD && n.Op != token.SUB {
+					return true
+				}
+				lf, rf := exprFamily(n.X), exprFamily(n.Y)
+				if lf != unitUnknown && rf != unitUnknown && lf != rf {
+					p.Reportf(n.Pos(), "%s %s %s mixes unit families (%s vs %s)",
+						describe(n.X), n.Op, describe(n.Y), lf, rf)
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					lf, rf := exprFamily(lhs), exprFamily(n.Rhs[i])
+					if lf != unitUnknown && rf != unitUnknown && lf != rf {
+						p.Reportf(n.Pos(), "%s %s %s mixes unit families (%s vs %s)",
+							describe(lhs), n.Tok, describe(n.Rhs[i]), lf, rf)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// describe renders a short name for an operand in a diagnostic.
+func describe(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return describe(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return describe(e.X)
+	case *ast.CallExpr:
+		return describe(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return describe(e.X) + "[...]"
+	case *ast.UnaryExpr:
+		return e.Op.String() + describe(e.X)
+	}
+	return "expression"
+}

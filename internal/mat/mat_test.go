@@ -11,6 +11,7 @@ import (
 func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestNewDenseZeroed(t *testing.T) {
+	t.Parallel()
 	m := NewDense(3, 4)
 	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
 		t.Fatalf("bad shape: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
@@ -23,6 +24,7 @@ func TestNewDenseZeroed(t *testing.T) {
 }
 
 func TestNewDensePanicsOnBadDims(t *testing.T) {
+	t.Parallel()
 	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-2, 3}} {
 		func() {
 			defer func() {
@@ -36,6 +38,7 @@ func TestNewDensePanicsOnBadDims(t *testing.T) {
 }
 
 func TestFromRowsAndAt(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
 	if m.At(0, 2) != 3 || m.At(1, 0) != 4 {
 		t.Fatalf("At returned wrong values: %v %v", m.At(0, 2), m.At(1, 0))
@@ -47,6 +50,7 @@ func TestFromRowsAndAt(t *testing.T) {
 }
 
 func TestFromRowsRaggedPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("ragged FromRows did not panic")
@@ -56,6 +60,7 @@ func TestFromRowsRaggedPanics(t *testing.T) {
 }
 
 func TestMulVec(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
 	y := m.MulVec([]float64{1, -1}, nil)
 	want := []float64{-1, -1, -1}
@@ -67,6 +72,7 @@ func TestMulVec(t *testing.T) {
 }
 
 func TestMulVecReusesDst(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{2, 0}, {0, 2}})
 	dst := make([]float64, 2)
 	got := m.MulVec([]float64{3, 4}, dst)
@@ -79,6 +85,7 @@ func TestMulVecReusesDst(t *testing.T) {
 }
 
 func TestMulVecTMatchesExplicitTranspose(t *testing.T) {
+	t.Parallel()
 	src := rng.New(7)
 	m := NewDense(5, 3)
 	for i := range m.Data {
@@ -101,6 +108,7 @@ func TestMulVecTMatchesExplicitTranspose(t *testing.T) {
 }
 
 func TestAddOuterScaled(t *testing.T) {
+	t.Parallel()
 	m := NewDense(2, 3)
 	m.AddOuterScaled(2, []float64{1, -1}, []float64{1, 2, 3})
 	want := [][]float64{{2, 4, 6}, {-2, -4, -6}}
@@ -114,6 +122,7 @@ func TestAddOuterScaled(t *testing.T) {
 }
 
 func TestAddScaledAndScaleAndZero(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{1, 2}})
 	b := FromRows([][]float64{{10, 20}})
 	a.AddScaled(0.5, b)
@@ -131,6 +140,7 @@ func TestAddScaledAndScaleAndZero(t *testing.T) {
 }
 
 func TestCloneIsDeep(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{1, 2}})
 	c := a.Clone()
 	c.Set(0, 0, 99)
@@ -140,6 +150,7 @@ func TestCloneIsDeep(t *testing.T) {
 }
 
 func TestMaxAbs(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{1, -7}, {3, 2}})
 	if a.MaxAbs() != 7 {
 		t.Fatalf("MaxAbs = %v want 7", a.MaxAbs())
@@ -150,12 +161,14 @@ func TestMaxAbs(t *testing.T) {
 }
 
 func TestDot(t *testing.T) {
+	t.Parallel()
 	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
 		t.Fatalf("Dot = %v want 32", d)
 	}
 }
 
 func TestAxpyTo(t *testing.T) {
+	t.Parallel()
 	dst := make([]float64, 2)
 	AxpyTo(dst, []float64{1, 2}, 3, []float64{10, 20})
 	if dst[0] != 31 || dst[1] != 62 {
@@ -164,6 +177,7 @@ func TestAxpyTo(t *testing.T) {
 }
 
 func TestSoftmaxProperties(t *testing.T) {
+	t.Parallel()
 	f := func(a, b, c float64) bool {
 		// Clamp wild quick inputs to something finite.
 		clamp := func(x float64) float64 {
@@ -189,6 +203,7 @@ func TestSoftmaxProperties(t *testing.T) {
 }
 
 func TestSoftmaxShiftInvariance(t *testing.T) {
+	t.Parallel()
 	in := []float64{1, 2, 3}
 	shifted := []float64{101, 102, 103}
 	a := Softmax(in, nil)
@@ -201,6 +216,7 @@ func TestSoftmaxShiftInvariance(t *testing.T) {
 }
 
 func TestSoftmaxExtremeValuesStable(t *testing.T) {
+	t.Parallel()
 	out := Softmax([]float64{1000, -1000, 0}, nil)
 	if math.IsNaN(out[0]) || !almostEq(out[0], 1, 1e-9) {
 		t.Fatalf("softmax overflow not handled: %v", out)
@@ -208,6 +224,7 @@ func TestSoftmaxExtremeValuesStable(t *testing.T) {
 }
 
 func TestArgMax(t *testing.T) {
+	t.Parallel()
 	if ArgMax([]float64{1, 5, 3}) != 1 {
 		t.Fatal("ArgMax wrong")
 	}
@@ -217,6 +234,7 @@ func TestArgMax(t *testing.T) {
 }
 
 func TestNorm2(t *testing.T) {
+	t.Parallel()
 	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
 		t.Fatal("Norm2 wrong")
 	}
@@ -224,6 +242,7 @@ func TestNorm2(t *testing.T) {
 
 // Property: MulVec is linear — m·(αx+βy) = α·m·x + β·m·y.
 func TestMulVecLinearityProperty(t *testing.T) {
+	t.Parallel()
 	src := rng.New(42)
 	for trial := 0; trial < 50; trial++ {
 		rows, cols := 1+src.Intn(8), 1+src.Intn(8)
@@ -254,6 +273,7 @@ func TestMulVecLinearityProperty(t *testing.T) {
 }
 
 func TestMulVecDimensionPanic(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("MulVec with wrong-length x did not panic")

@@ -87,7 +87,7 @@ type Network struct {
 // error, not a runtime condition).
 func New(cfg Config) *Network {
 	if err := cfg.validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("mlp: %v", err))
 	}
 	src := rng.New(cfg.Seed ^ 0x6f64696e6d6c70) // decorrelate from other subsystems
 	n := &Network{cfg: cfg}
@@ -207,7 +207,7 @@ func (n *Network) Loss(examples []Example) float64 {
 	var total float64
 	for _, e := range examples {
 		if err := n.checkExample(e); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("mlp: %v", err))
 		}
 		_, logits := n.forward(e.Input)
 		for k, z := range logits {
@@ -346,7 +346,7 @@ func (n *Network) Train(examples []Example, opts TrainOptions) TrainStats {
 	}
 	for _, e := range examples {
 		if err := n.checkExample(e); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("mlp: %v", err))
 		}
 	}
 	opts = opts.withDefaults()

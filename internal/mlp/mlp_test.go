@@ -8,6 +8,7 @@ import (
 )
 
 func TestConfigValidation(t *testing.T) {
+	t.Parallel()
 	bad := []Config{
 		{InputDim: 0, Heads: []int{2}},
 		{InputDim: 3},
@@ -27,6 +28,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestPredictShapesAndNormalisation(t *testing.T) {
+	t.Parallel()
 	n := New(Config{InputDim: 4, Hidden: []int{8}, Heads: []int{6, 6}, Seed: 1})
 	probs := n.Predict([]float64{0.1, 0.5, -0.2, 1})
 	if len(probs) != 2 {
@@ -50,6 +52,7 @@ func TestPredictShapesAndNormalisation(t *testing.T) {
 }
 
 func TestNumParams(t *testing.T) {
+	t.Parallel()
 	n := New(Config{InputDim: 4, Hidden: []int{8}, Heads: []int{6, 6}, Seed: 1})
 	// trunk: 8*4+8 = 40; each head: 6*8+6 = 54; total 40+108 = 148.
 	if got := n.NumParams(); got != 148 {
@@ -61,6 +64,7 @@ func TestNumParams(t *testing.T) {
 }
 
 func TestDeterministicInit(t *testing.T) {
+	t.Parallel()
 	a := New(Config{InputDim: 3, Hidden: []int{5}, Heads: []int{4}, Seed: 42})
 	b := New(Config{InputDim: 3, Hidden: []int{5}, Heads: []int{4}, Seed: 42})
 	pa, pb := a.Parameters(), b.Parameters()
@@ -84,6 +88,7 @@ func TestDeterministicInit(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
+	t.Parallel()
 	n := New(Config{InputDim: 2, Hidden: []int{3}, Heads: []int{2}, Seed: 5})
 	c := n.Clone()
 	*c.Parameters()[0] = 1234
@@ -94,6 +99,7 @@ func TestCloneIndependence(t *testing.T) {
 
 // Gradient check: analytic gradients must match central finite differences.
 func TestGradientCheck(t *testing.T) {
+	t.Parallel()
 	n := New(Config{InputDim: 4, Hidden: []int{6, 5}, Heads: []int{3, 4}, Seed: 9})
 	src := rng.New(77)
 	var examples []Example
@@ -135,6 +141,7 @@ func TestGradientCheck(t *testing.T) {
 }
 
 func TestTrainReducesLoss(t *testing.T) {
+	t.Parallel()
 	n := New(Config{InputDim: 2, Hidden: []int{16}, Heads: []int{2}, Seed: 3})
 	// XOR-like problem: class = a XOR b.
 	var examples []Example
@@ -162,6 +169,7 @@ func TestTrainReducesLoss(t *testing.T) {
 }
 
 func TestTrainMultiHead(t *testing.T) {
+	t.Parallel()
 	// Head 0 learns sign of x, head 1 learns sign of y — independent tasks
 	// sharing a trunk, like the R/C heads of the OU policy.
 	n := New(Config{InputDim: 2, Hidden: []int{12}, Heads: []int{2, 2}, Seed: 8})
@@ -192,6 +200,7 @@ func TestTrainMultiHead(t *testing.T) {
 }
 
 func TestTrainAdam(t *testing.T) {
+	t.Parallel()
 	n := New(Config{InputDim: 2, Hidden: []int{16}, Heads: []int{2}, Seed: 3})
 	var examples []Example
 	for _, in := range [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
@@ -208,6 +217,7 @@ func TestTrainAdam(t *testing.T) {
 }
 
 func TestTrainDeterministic(t *testing.T) {
+	t.Parallel()
 	build := func() (*Network, []Example) {
 		n := New(Config{InputDim: 3, Hidden: []int{7}, Heads: []int{4}, Seed: 2})
 		src := rng.New(55)
@@ -231,6 +241,7 @@ func TestTrainDeterministic(t *testing.T) {
 }
 
 func TestTrainEmptyExamplesIsNoop(t *testing.T) {
+	t.Parallel()
 	n := New(Config{InputDim: 2, Hidden: []int{3}, Heads: []int{2}, Seed: 1})
 	before := *n.Parameters()[0]
 	stats := n.Train(nil, TrainOptions{})
@@ -243,6 +254,7 @@ func TestTrainEmptyExamplesIsNoop(t *testing.T) {
 }
 
 func TestLossEmptyIsZero(t *testing.T) {
+	t.Parallel()
 	n := New(Config{InputDim: 2, Heads: []int{2}, Seed: 1})
 	if l := n.Loss(nil); l != 0 {
 		t.Fatalf("Loss(nil) = %v", l)
@@ -250,6 +262,7 @@ func TestLossEmptyIsZero(t *testing.T) {
 }
 
 func TestBadExamplePanics(t *testing.T) {
+	t.Parallel()
 	n := New(Config{InputDim: 2, Heads: []int{2}, Seed: 1})
 	cases := []Example{
 		{Input: []float64{1}, Targets: []int{0}},       // wrong input dim
@@ -270,6 +283,7 @@ func TestBadExamplePanics(t *testing.T) {
 }
 
 func TestNoHiddenLayerNetwork(t *testing.T) {
+	t.Parallel()
 	// Linear softmax classifier (no trunk) must work: the paper's policy is
 	// tiny and configurations like this must be expressible.
 	n := New(Config{InputDim: 4, Heads: []int{6, 6}, Seed: 1})
@@ -298,6 +312,7 @@ func TestNoHiddenLayerNetwork(t *testing.T) {
 }
 
 func TestGradientCheckNoHidden(t *testing.T) {
+	t.Parallel()
 	n := New(Config{InputDim: 3, Heads: []int{2}, Seed: 4})
 	examples := []Example{{Input: []float64{0.3, -0.2, 0.9}, Targets: []int{1}}}
 	analytic := n.Gradients(examples)

@@ -7,6 +7,7 @@ import (
 )
 
 func TestNetworkJSONRoundTrip(t *testing.T) {
+	t.Parallel()
 	n := New(Config{InputDim: 4, Hidden: []int{16, 8}, Heads: []int{6, 6}, Seed: 42})
 	// Train a little so the parameters are non-trivial.
 	examples := []Example{
@@ -45,6 +46,7 @@ func TestNetworkJSONRoundTrip(t *testing.T) {
 }
 
 func TestNetworkJSONNoHidden(t *testing.T) {
+	t.Parallel()
 	n := New(Config{InputDim: 3, Heads: []int{4}, Seed: 7})
 	data, err := json.Marshal(n)
 	if err != nil {
@@ -60,6 +62,7 @@ func TestNetworkJSONNoHidden(t *testing.T) {
 }
 
 func TestNetworkUnmarshalRejectsCorruption(t *testing.T) {
+	t.Parallel()
 	n := New(Config{InputDim: 4, Hidden: []int{8}, Heads: []int{6, 6}, Seed: 1})
 	good, err := json.Marshal(n)
 	if err != nil {
@@ -86,6 +89,7 @@ func TestNetworkUnmarshalRejectsCorruption(t *testing.T) {
 }
 
 func TestNetworkUnmarshalShapeMismatch(t *testing.T) {
+	t.Parallel()
 	// A head whose rows disagree with the config must be rejected.
 	a := New(Config{InputDim: 4, Hidden: []int{8}, Heads: []int{6, 6}, Seed: 1})
 	data, _ := json.Marshal(a)

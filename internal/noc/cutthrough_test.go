@@ -9,6 +9,7 @@ import (
 )
 
 func TestCutThroughSinglePacketMatchesWormholeFormula(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	// One 4-flit packet over 3 hops: head needs 3 cycles to reach the sink's
 	// input link, tail lands flits−1 cycles after the head: (hops−1)+flits.
@@ -33,6 +34,7 @@ func TestCutThroughSinglePacketMatchesWormholeFormula(t *testing.T) {
 }
 
 func TestCutThroughDegenerateFlowsSkipped(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	sim := m.SimulateCutThrough([]Flow{
 		{Src: 2, Dst: 2, Bits: 64},
@@ -44,6 +46,7 @@ func TestCutThroughDegenerateFlowsSkipped(t *testing.T) {
 }
 
 func TestCutThroughSharedLinkSerialises(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	// Two packets over the same links: the second must wait.
 	flows := []Flow{
@@ -64,6 +67,7 @@ func TestCutThroughSharedLinkSerialises(t *testing.T) {
 }
 
 func TestCutThroughDisjointFlowsRunInParallel(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	single := m.SimulateCutThrough([]Flow{{Src: 0, Dst: 5, Bits: 16 * 32}})
 	parallel := m.SimulateCutThrough([]Flow{
@@ -78,6 +82,7 @@ func TestCutThroughDisjointFlowsRunInParallel(t *testing.T) {
 }
 
 func TestCutThroughEnergyMatchesAnalytic(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	flows := []Flow{
 		{Src: 0, Dst: 35, Bits: 320},
@@ -97,6 +102,7 @@ func TestCutThroughEnergyMatchesAnalytic(t *testing.T) {
 // Property: the simulated makespan is never below either analytic lower
 // bound (longest single transfer, bottleneck-link serialisation).
 func TestCutThroughLowerBoundsProperty(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	f := func(seed uint32, nRaw uint8) bool {
 		src := rng.New(uint64(seed))
@@ -120,6 +126,7 @@ func TestCutThroughLowerBoundsProperty(t *testing.T) {
 }
 
 func TestValidateAgainstAnalytic(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	src := rng.New(99)
 	var flows []Flow
@@ -143,6 +150,7 @@ func TestValidateAgainstAnalytic(t *testing.T) {
 }
 
 func TestValidateAgainstAnalyticEmpty(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	ratio, _, _ := m.ValidateAgainstAnalytic(nil)
 	if ratio != 1 {
@@ -151,6 +159,7 @@ func TestValidateAgainstAnalyticEmpty(t *testing.T) {
 }
 
 func TestWorstPackets(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	flows := []Flow{
 		{Src: 0, Dst: 1, Bits: 32},       // short

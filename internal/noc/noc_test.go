@@ -7,6 +7,7 @@ import (
 )
 
 func TestDefaultMeshValid(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
@@ -17,6 +18,7 @@ func TestDefaultMeshValid(t *testing.T) {
 }
 
 func TestValidateRejections(t *testing.T) {
+	t.Parallel()
 	mutations := []func(*Mesh){
 		func(m *Mesh) { m.W = 0 },
 		func(m *Mesh) { m.FlitBits = 0 },
@@ -33,6 +35,7 @@ func TestValidateRejections(t *testing.T) {
 }
 
 func TestCoordRoundTrip(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	for id := 0; id < m.Nodes(); id++ {
 		if got := m.NodeAt(m.CoordOf(id)); got != id {
@@ -42,6 +45,7 @@ func TestCoordRoundTrip(t *testing.T) {
 }
 
 func TestCoordPanics(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	for _, fn := range []func(){
 		func() { m.CoordOf(-1) },
@@ -60,6 +64,7 @@ func TestCoordPanics(t *testing.T) {
 }
 
 func TestHopsIsManhattan(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	// (0,0) to (5,5): 10 hops.
 	if got := m.Hops(0, 35); got != 10 {
@@ -73,6 +78,7 @@ func TestHopsIsManhattan(t *testing.T) {
 // Property: XY route length equals Manhattan distance and every step moves
 // to a 1-hop neighbour.
 func TestXYRouteProperty(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	f := func(aRaw, bRaw uint8) bool {
 		a := int(aRaw) % m.Nodes()
@@ -97,6 +103,7 @@ func TestXYRouteProperty(t *testing.T) {
 }
 
 func TestXYRouteGoesXFirst(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	// Node 0 = (0,0) to node 13 = (1,2): route must pass (1,0) before moving in Y.
 	path := m.XYRoute(0, 13)
@@ -106,6 +113,7 @@ func TestXYRouteGoesXFirst(t *testing.T) {
 }
 
 func TestFlits(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh() // 32-bit flits
 	cases := map[int]int{0: 0, -5: 0, 1: 1, 32: 1, 33: 2, 320: 10}
 	for bits, want := range cases {
@@ -116,6 +124,7 @@ func TestFlits(t *testing.T) {
 }
 
 func TestTransferLatencyWormhole(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	// 4 flits over 3 hops: (3 + 4 − 1) cycles.
 	want := 6 * m.HopLatency
@@ -128,6 +137,7 @@ func TestTransferLatencyWormhole(t *testing.T) {
 }
 
 func TestTransferEnergy(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	want := 10 * 4 * m.HopEnergy // 10 flits × 4 hops
 	if got := m.TransferEnergy(320, 4); math.Abs(got-want) > 1e-24 {
@@ -136,6 +146,7 @@ func TestTransferEnergy(t *testing.T) {
 }
 
 func TestRouteAggregates(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	flows := []Flow{
 		{Src: 0, Dst: 5, Bits: 64},  // 2 flits × 5 hops
@@ -151,6 +162,7 @@ func TestRouteAggregates(t *testing.T) {
 }
 
 func TestRouteContentionRaisesLatency(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	// Ten flows all crossing link (0→1) serialise there.
 	var flows []Flow
@@ -168,6 +180,7 @@ func TestRouteContentionRaisesLatency(t *testing.T) {
 }
 
 func TestRouteDisjointFlowsDontContend(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	// Parallel rows: same length, disjoint links.
 	flows := []Flow{
@@ -183,6 +196,7 @@ func TestRouteDisjointFlowsDontContend(t *testing.T) {
 }
 
 func TestRouteIgnoresDegenerateFlows(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	cost := m.Route([]Flow{
 		{Src: 3, Dst: 3, Bits: 100}, // self flow
@@ -194,6 +208,7 @@ func TestRouteIgnoresDegenerateFlows(t *testing.T) {
 }
 
 func TestRouteEnergyMatchesFlitHops(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	flows := []Flow{{Src: 0, Dst: 35, Bits: 96}}
 	cost := m.Route(flows)
@@ -203,6 +218,7 @@ func TestRouteEnergyMatchesFlitHops(t *testing.T) {
 }
 
 func TestYXRouteProperty(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	f := func(aRaw, bRaw uint8) bool {
 		a := int(aRaw) % m.Nodes()
@@ -227,6 +243,7 @@ func TestYXRouteProperty(t *testing.T) {
 }
 
 func TestYXRouteGoesYFirst(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	// Node 0 = (0,0) to node 13 = (1,2): YX must pass (0,1) first.
 	path := m.YXRoute(0, 13)
@@ -236,6 +253,7 @@ func TestYXRouteGoesYFirst(t *testing.T) {
 }
 
 func TestRoutingDiversityChangesBottlenecks(t *testing.T) {
+	t.Parallel()
 	m := DefaultMesh()
 	// All flows into one column from one row: XY funnels them through the
 	// destination column's vertical links; YX spreads them over the rows'

@@ -157,7 +157,7 @@ func (w LayerWork) Cycles(s Size) int {
 		panic(fmt.Sprintf("ou: invalid OU size %v", s))
 	}
 	if err := w.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("ou: %v", err))
 	}
 	colGroups := ceilDiv(w.ColsUsed, s.C)
 	zeroFrac := w.profile().SegmentZeroFraction(min(s.C, w.ColsUsed))

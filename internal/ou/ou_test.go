@@ -7,6 +7,7 @@ import (
 )
 
 func TestSizeStringAndProduct(t *testing.T) {
+	t.Parallel()
 	s := Size{R: 16, C: 8}
 	if s.String() != "16×8" {
 		t.Fatalf("String = %q", s.String())
@@ -20,6 +21,7 @@ func TestSizeStringAndProduct(t *testing.T) {
 }
 
 func TestDefaultGrid128(t *testing.T) {
+	t.Parallel()
 	g := DefaultGrid(128)
 	if g.Levels() != 6 {
 		t.Fatalf("128-crossbar grid has %d levels, want 6", g.Levels())
@@ -36,6 +38,7 @@ func TestDefaultGrid128(t *testing.T) {
 }
 
 func TestDefaultGridSmallerCrossbars(t *testing.T) {
+	t.Parallel()
 	if g := DefaultGrid(64); g.Levels() != 5 {
 		t.Fatalf("64-crossbar levels = %d, want 5", g.Levels())
 	}
@@ -51,6 +54,7 @@ func TestDefaultGridSmallerCrossbars(t *testing.T) {
 }
 
 func TestGridIndexRoundTrip(t *testing.T) {
+	t.Parallel()
 	g := DefaultGrid(128)
 	for r := 0; r < g.Levels(); r++ {
 		for c := 0; c < g.Levels(); c++ {
@@ -64,6 +68,7 @@ func TestGridIndexRoundTrip(t *testing.T) {
 }
 
 func TestGridIndexOfRejectsOffGrid(t *testing.T) {
+	t.Parallel()
 	g := DefaultGrid(128)
 	if _, _, ok := g.IndexOf(Size{9, 8}); ok {
 		t.Fatal("9×8 should not be on the power-of-two grid")
@@ -74,6 +79,7 @@ func TestGridIndexOfRejectsOffGrid(t *testing.T) {
 }
 
 func TestGridSizeAtPanics(t *testing.T) {
+	t.Parallel()
 	g := DefaultGrid(128)
 	defer func() {
 		if recover() == nil {
@@ -84,6 +90,7 @@ func TestGridSizeAtPanics(t *testing.T) {
 }
 
 func TestNearestIndex(t *testing.T) {
+	t.Parallel()
 	g := DefaultGrid(128)
 	// 9 is closest to 8 (level 1); 100 closest to 128 (level 5).
 	if idx := g.NearestIndex(9); idx != 1 {
@@ -104,6 +111,7 @@ func denseWork() LayerWork {
 }
 
 func TestCyclesDenseFullCrossbar(t *testing.T) {
+	t.Parallel()
 	w := denseWork()
 	// 128 rows / 16 per step × 128 cols / 16 per group = 8×8 = 64.
 	if got := w.Cycles(Size{16, 16}); got != 64 {
@@ -119,6 +127,7 @@ func TestCyclesDenseFullCrossbar(t *testing.T) {
 }
 
 func TestCyclesSparsitySkipsRows(t *testing.T) {
+	t.Parallel()
 	w := denseWork()
 	w.Sparsity = constProfile(0.5)
 	// Half the row segments skip: 64 active rows → 4 row steps × 8 col groups.
@@ -128,6 +137,7 @@ func TestCyclesSparsitySkipsRows(t *testing.T) {
 }
 
 func TestCyclesAllZeroStillOneCycle(t *testing.T) {
+	t.Parallel()
 	w := denseWork()
 	w.Sparsity = constProfile(1.0)
 	if got := w.Cycles(Size{16, 16}); got != 8 {
@@ -137,6 +147,7 @@ func TestCyclesAllZeroStillOneCycle(t *testing.T) {
 }
 
 func TestCyclesPartialOccupancy(t *testing.T) {
+	t.Parallel()
 	w := LayerWork{Xbars: 1, RowsUsed: 20, ColsUsed: 10}
 	// ceil(20/16)=2 row steps × ceil(10/16)=1 col group.
 	if got := w.Cycles(Size{16, 16}); got != 2 {
@@ -145,6 +156,7 @@ func TestCyclesPartialOccupancy(t *testing.T) {
 }
 
 func TestCyclesMonotoneNonIncreasingInOUDims(t *testing.T) {
+	t.Parallel()
 	w := denseWork()
 	w.Sparsity = constProfile(0.3)
 	g := DefaultGrid(128)
@@ -166,6 +178,7 @@ func TestCyclesMonotoneNonIncreasingInOUDims(t *testing.T) {
 }
 
 func TestCyclesPanicsOnBadInput(t *testing.T) {
+	t.Parallel()
 	w := denseWork()
 	for _, fn := range []func(){
 		func() { w.Cycles(Size{0, 4}) },
@@ -184,6 +197,7 @@ func TestCyclesPanicsOnBadInput(t *testing.T) {
 }
 
 func TestLatencyMatchesEquationOne(t *testing.T) {
+	t.Parallel()
 	m := CostModel{LatencyUnit: 1, EnergyUnit: 1} // unit constants expose the raw formula
 	w := denseWork()
 	s := Size{16, 8}
@@ -195,6 +209,7 @@ func TestLatencyMatchesEquationOne(t *testing.T) {
 }
 
 func TestEnergyMatchesEquationTwo(t *testing.T) {
+	t.Parallel()
 	m := CostModel{LatencyUnit: 1, EnergyUnit: 1}
 	w := denseWork()
 	s := Size{32, 16}
@@ -206,6 +221,7 @@ func TestEnergyMatchesEquationTwo(t *testing.T) {
 }
 
 func TestEvaluateConsistentWithSeparateCalls(t *testing.T) {
+	t.Parallel()
 	m := DefaultCostModel()
 	w := denseWork()
 	w.Sparsity = constProfile(0.4)
@@ -222,6 +238,7 @@ func TestEvaluateConsistentWithSeparateCalls(t *testing.T) {
 }
 
 func TestCostsPositiveProperty(t *testing.T) {
+	t.Parallel()
 	m := DefaultCostModel()
 	f := func(xbars, rows, cols uint8, rIdx, cIdx uint8, sparsity uint8) bool {
 		w := LayerWork{
@@ -241,6 +258,7 @@ func TestCostsPositiveProperty(t *testing.T) {
 }
 
 func TestLatencyDecreasesWithLargerR(t *testing.T) {
+	t.Parallel()
 	// Eq. 1: growing R shrinks cycles faster than log2(R) grows, so latency
 	// should not increase when R doubles on a large dense layer.
 	m := DefaultCostModel()
@@ -259,6 +277,7 @@ func TestLatencyDecreasesWithLargerR(t *testing.T) {
 }
 
 func TestEnergyIndependentOfCOnDenseAlignedLayer(t *testing.T) {
+	t.Parallel()
 	// For a dense 128×128 layer, Eq. 2 energy is invariant in C (cycles halve
 	// as C doubles): a structural identity of the paper's model worth pinning.
 	// Uses a zero-overhead model — the per-cycle control term deliberately
@@ -276,12 +295,14 @@ func TestEnergyIndependentOfCOnDenseAlignedLayer(t *testing.T) {
 }
 
 func TestDenseProfileZero(t *testing.T) {
+	t.Parallel()
 	if (DenseProfile{}).SegmentZeroFraction(16) != 0 {
 		t.Fatal("DenseProfile must report zero skippable segments")
 	}
 }
 
 func TestNilSparsityTreatedAsDense(t *testing.T) {
+	t.Parallel()
 	w := LayerWork{Xbars: 1, RowsUsed: 64, ColsUsed: 64}
 	wDense := LayerWork{Xbars: 1, RowsUsed: 64, ColsUsed: 64, Sparsity: DenseProfile{}}
 	if w.Cycles(Size{8, 8}) != wDense.Cycles(Size{8, 8}) {

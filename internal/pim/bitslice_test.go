@@ -6,6 +6,7 @@ import (
 )
 
 func TestBitSlicingForPlatform(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	b := a.BitSlicingFor(16)
 	if err := b.Validate(); err != nil {
@@ -29,6 +30,7 @@ func TestBitSlicingForPlatform(t *testing.T) {
 }
 
 func TestBitSlicingValidation(t *testing.T) {
+	t.Parallel()
 	bad := []BitSlicing{
 		{WeightBits: 0, BitsPerCell: 1, InputBits: 1, ADCBits: 1},
 		{WeightBits: 2, BitsPerCell: 4, InputBits: 1, ADCBits: 1},
@@ -42,6 +44,7 @@ func TestBitSlicingValidation(t *testing.T) {
 }
 
 func TestAccumulatorBits(t *testing.T) {
+	t.Parallel()
 	b := DefaultArch().BitSlicingFor(16)
 	// ADC 4 bits + (4−1)·2 shift + (8−1) input shift = 17.
 	if got := b.AccumulatorBits(); got != 17 {
@@ -50,6 +53,7 @@ func TestAccumulatorBits(t *testing.T) {
 }
 
 func TestRecombinationEnergyScales(t *testing.T) {
+	t.Parallel()
 	b := DefaultArch().BitSlicingFor(16)
 	one := b.RecombinationEnergy(1)
 	hundred := b.RecombinationEnergy(100)
@@ -62,6 +66,7 @@ func TestRecombinationEnergyScales(t *testing.T) {
 }
 
 func TestClippedRows(t *testing.T) {
+	t.Parallel()
 	b := DefaultArch().BitSlicingFor(16) // 4-bit ADC covers 16 rows
 	if b.ClippedRows(16) != 0 {
 		t.Fatal("16 rows should fit a 4-bit ADC")
@@ -78,6 +83,7 @@ func TestClippedRows(t *testing.T) {
 }
 
 func TestQuantizationSNR(t *testing.T) {
+	t.Parallel()
 	b := DefaultArch().BitSlicingFor(64) // 6 bits
 	if math.Abs(b.QuantizationSNR()-36.12) > 1e-9 {
 		t.Fatalf("SNR = %v dB, want 36.12", b.QuantizationSNR())
@@ -85,6 +91,7 @@ func TestQuantizationSNR(t *testing.T) {
 }
 
 func TestSlicedMVMEnergyComposition(t *testing.T) {
+	t.Parallel()
 	b := DefaultArch().BitSlicingFor(16)
 	const perSample = 1e-12
 	got := b.SlicedMVMEnergy(perSample)
@@ -95,6 +102,7 @@ func TestSlicedMVMEnergyComposition(t *testing.T) {
 }
 
 func TestEffectiveOutputBits(t *testing.T) {
+	t.Parallel()
 	b := DefaultArch().BitSlicingFor(16)
 	// Full precision: 8+8+log2(16) = 20; accumulator caps it at 17.
 	if got := b.EffectiveOutputBits(16); got != 17 {

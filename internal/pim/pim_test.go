@@ -10,12 +10,14 @@ import (
 )
 
 func TestDefaultArchValid(t *testing.T) {
+	t.Parallel()
 	if err := DefaultArch().Validate(); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestValidateRejections(t *testing.T) {
+	t.Parallel()
 	mutations := []func(*ArchConfig){
 		func(a *ArchConfig) { a.PEs = 0 },
 		func(a *ArchConfig) { a.CrossbarSize = 2 },
@@ -34,6 +36,7 @@ func TestValidateRejections(t *testing.T) {
 }
 
 func TestStructuralCounts(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	if a.TotalCrossbars() != 36*4*96 {
 		t.Fatalf("TotalCrossbars = %d", a.TotalCrossbars())
@@ -44,6 +47,7 @@ func TestStructuralCounts(t *testing.T) {
 }
 
 func TestADCBitsClamping(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	cases := map[int]int{4: 3, 8: 3, 16: 4, 32: 5, 64: 6, 128: 6}
 	for r, want := range cases {
@@ -54,6 +58,7 @@ func TestADCBitsClamping(t *testing.T) {
 }
 
 func TestMapLayerSmall(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	// 3×3×64 → 128: rows 576, cols 512.
 	l := dnn.Layer{Name: "conv", Type: dnn.Conv, KernelH: 3, KernelW: 3,
@@ -75,6 +80,7 @@ func TestMapLayerSmall(t *testing.T) {
 }
 
 func TestMapLayerTiny(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	l := dnn.Layer{Name: "head", Type: dnn.FC, KernelH: 1, KernelW: 1,
 		InChannels: 64, OutChannels: 10, InH: 1, InW: 1, Stride: 1}
@@ -85,6 +91,7 @@ func TestMapLayerTiny(t *testing.T) {
 }
 
 func TestMapLayerNonZeroCells(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	l := dnn.Layer{Name: "x", Type: dnn.Conv, KernelH: 1, KernelW: 1,
 		InChannels: 128, OutChannels: 32, InH: 8, InW: 8, Stride: 1,
@@ -98,6 +105,7 @@ func TestMapLayerNonZeroCells(t *testing.T) {
 // Property: the balanced tiling conserves work — every required row/column
 // fits, and occupancy never exceeds the crossbar.
 func TestMappingConservationProperty(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	f := func(kRaw, inRaw, outRaw uint16) bool {
 		k := int(kRaw%7) + 1
@@ -120,6 +128,7 @@ func TestMappingConservationProperty(t *testing.T) {
 }
 
 func TestMapModelUtilization(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	m := dnn.NewResNet18()
 	mm := a.MapModel(m)
@@ -139,6 +148,7 @@ func TestMapModelUtilization(t *testing.T) {
 }
 
 func TestWorkBridgesToOUModel(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	model := dnn.NewVGG11()
 	if err := sparsity.Prune(model, sparsity.DefaultConfig()); err != nil {
@@ -165,6 +175,7 @@ func TestWorkBridgesToOUModel(t *testing.T) {
 }
 
 func TestTileAreaMatchesTableI(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	if got := a.TileArea(); math.Abs(got-0.2822) > 1e-9 {
 		t.Fatalf("tile area %v, want 0.2822 (paper: 0.28 mm²)", got)
@@ -175,6 +186,7 @@ func TestTileAreaMatchesTableI(t *testing.T) {
 }
 
 func TestSystemArea(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	want := a.TileArea() * 4 * 36
 	if got := a.SystemArea(); math.Abs(got-want) > 1e-12 {
@@ -183,6 +195,7 @@ func TestSystemArea(t *testing.T) {
 }
 
 func TestComponentAreasScaleWithStructure(t *testing.T) {
+	t.Parallel()
 	small := DefaultArch()
 	small.CrossbarSize = 64
 	var memDefault, memSmall float64
@@ -202,6 +215,7 @@ func TestComponentAreasScaleWithStructure(t *testing.T) {
 }
 
 func TestOverheadModelMatchesPaperScale(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	// The paper's policy: 4 inputs, two 6-way heads; our default adds a
 	// small hidden trunk — use a representative 150-parameter policy.
@@ -238,6 +252,7 @@ func TestOverheadModelMatchesPaperScale(t *testing.T) {
 }
 
 func TestPeripheralEnergyPositiveAndSmall(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	model := dnn.NewVGG11()
 	l := model.Layers[2]
@@ -257,6 +272,7 @@ func TestPeripheralEnergyPositiveAndSmall(t *testing.T) {
 }
 
 func TestMapLayerDepthwisePacksGroups(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	// 96-channel depthwise 3×3: 96 groups of 9×(1·4) cells.
 	l := dnn.Layer{Name: "dw", Type: dnn.Conv, KernelH: 3, KernelW: 3,
@@ -275,6 +291,7 @@ func TestMapLayerDepthwisePacksGroups(t *testing.T) {
 }
 
 func TestMapLayerGroupedConservesCells(t *testing.T) {
+	t.Parallel()
 	a := DefaultArch()
 	for _, groups := range []int{1, 2, 4, 8} {
 		l := dnn.Layer{Name: "g", Type: dnn.Conv, KernelH: 1, KernelW: 1,
@@ -291,6 +308,7 @@ func TestMapLayerGroupedConservesCells(t *testing.T) {
 }
 
 func TestMapLayerHugeGroupBlocks(t *testing.T) {
+	t.Parallel()
 	// Groups whose blocks exceed one crossbar: 2 groups of 256×256 cells
 	// fall back to one-group-per-crossbar granularity.
 	a := DefaultArch()

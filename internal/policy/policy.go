@@ -37,7 +37,7 @@ const maxLogTime = 8.0
 // Vector encodes the features for the network: all components in ≈[0,1].
 func (f Features) Vector() []float64 {
 	if err := f.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("policy: %v", err))
 	}
 	pos := 0.0
 	if f.LayerCount > 1 {

@@ -18,6 +18,7 @@ func validFeatures(idx int, t float64) Features {
 }
 
 func TestFeatureVectorNormalisation(t *testing.T) {
+	t.Parallel()
 	f := Features{LayerIndex: 19, LayerCount: 20, Sparsity: 0.6, KernelSize: 7, Time: 1e8}
 	v := f.Vector()
 	if len(v) != 4 {
@@ -32,6 +33,7 @@ func TestFeatureVectorNormalisation(t *testing.T) {
 }
 
 func TestFeatureVectorEdges(t *testing.T) {
+	t.Parallel()
 	f := Features{LayerIndex: 0, LayerCount: 1, Sparsity: 0, KernelSize: 1, Time: 0}
 	v := f.Vector()
 	if v[0] != 0 || v[3] != 0 {
@@ -45,6 +47,7 @@ func TestFeatureVectorEdges(t *testing.T) {
 }
 
 func TestFeatureValidation(t *testing.T) {
+	t.Parallel()
 	bad := []Features{
 		{LayerIndex: 0, LayerCount: 0, KernelSize: 1},
 		{LayerIndex: 5, LayerCount: 5, KernelSize: 1},
@@ -65,6 +68,7 @@ func TestFeatureValidation(t *testing.T) {
 }
 
 func TestVectorPanicsOnInvalid(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Vector on invalid features did not panic")
@@ -74,6 +78,7 @@ func TestVectorPanicsOnInvalid(t *testing.T) {
 }
 
 func TestPredictOnGrid(t *testing.T) {
+	t.Parallel()
 	p := newTestPolicy(1)
 	g := p.Grid()
 	for _, tt := range []float64{0, 1e2, 1e6} {
@@ -85,6 +90,7 @@ func TestPredictOnGrid(t *testing.T) {
 }
 
 func TestProbabilitiesNormalised(t *testing.T) {
+	t.Parallel()
 	p := newTestPolicy(2)
 	r, c := p.Probabilities(validFeatures(2, 50))
 	if len(r) != 6 || len(c) != 6 {
@@ -101,6 +107,7 @@ func TestProbabilitiesNormalised(t *testing.T) {
 }
 
 func TestTrainLearnsMapping(t *testing.T) {
+	t.Parallel()
 	p := newTestPolicy(3)
 	g := p.Grid()
 	// Synthetic ground truth: early layers → 16×8, late layers → 32×32.
@@ -124,6 +131,7 @@ func TestTrainLearnsMapping(t *testing.T) {
 }
 
 func TestTrainDefaultEpochsIs100(t *testing.T) {
+	t.Parallel()
 	p := newTestPolicy(4)
 	examples := []Example{{F: validFeatures(1, 1), Target: p.Grid().SizeAt(1, 1)}}
 	stats, err := p.Train(examples, mlp.TrainOptions{})
@@ -136,6 +144,7 @@ func TestTrainDefaultEpochsIs100(t *testing.T) {
 }
 
 func TestTrainRejectsOffGridTarget(t *testing.T) {
+	t.Parallel()
 	p := newTestPolicy(5)
 	_, err := p.Train([]Example{{F: validFeatures(0, 0), Target: ou.Size{R: 9, C: 8}}}, mlp.TrainOptions{})
 	if err == nil {
@@ -144,6 +153,7 @@ func TestTrainRejectsOffGridTarget(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
+	t.Parallel()
 	p := newTestPolicy(6)
 	c := p.Clone()
 	examples := []Example{
@@ -161,6 +171,7 @@ func TestCloneIndependence(t *testing.T) {
 }
 
 func TestTimeFeatureInfluencesPrediction(t *testing.T) {
+	t.Parallel()
 	// A policy trained to shrink OUs over time must produce different
 	// predictions at t0 vs the horizon — i.e. Φ₄ is actually wired in.
 	p := newTestPolicy(7)
@@ -187,6 +198,7 @@ func TestTimeFeatureInfluencesPrediction(t *testing.T) {
 }
 
 func TestNumParamsSmall(t *testing.T) {
+	t.Parallel()
 	p := newTestPolicy(8)
 	// Tiny policy: 4→16 trunk + two 6-way heads = (64+16) + 2·(96+6) = 284.
 	if got := p.NumParams(); got != 284 {
@@ -195,6 +207,7 @@ func TestNumParamsSmall(t *testing.T) {
 }
 
 func TestBufferLifecycle(t *testing.T) {
+	t.Parallel()
 	b := NewBuffer(3)
 	e := Example{F: validFeatures(0, 1), Target: ou.Size{R: 4, C: 4}}
 	if b.Add(e) || b.Add(e) {
@@ -218,6 +231,7 @@ func TestBufferLifecycle(t *testing.T) {
 }
 
 func TestBufferPanicsOnBadCapacity(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("capacity 0 did not panic")
@@ -227,12 +241,14 @@ func TestBufferPanicsOnBadCapacity(t *testing.T) {
 }
 
 func TestAgreementEmpty(t *testing.T) {
+	t.Parallel()
 	if newTestPolicy(9).Agreement(nil) != 0 {
 		t.Fatal("agreement on empty set should be 0")
 	}
 }
 
 func TestConfidenceBounds(t *testing.T) {
+	t.Parallel()
 	p := newTestPolicy(21)
 	f := validFeatures(3, 100)
 	c := p.Confidence(f)
@@ -243,6 +259,7 @@ func TestConfidenceBounds(t *testing.T) {
 }
 
 func TestConfidenceRisesWithTraining(t *testing.T) {
+	t.Parallel()
 	p := newTestPolicy(22)
 	g := p.Grid()
 	f := validFeatures(3, 100)

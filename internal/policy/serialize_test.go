@@ -10,6 +10,7 @@ import (
 )
 
 func TestPolicyJSONRoundTrip(t *testing.T) {
+	t.Parallel()
 	p := New(Config{Grid: ou.DefaultGrid(128), Seed: 11})
 	// Give the policy some learned structure first.
 	g := p.Grid()
@@ -47,6 +48,7 @@ func TestPolicyJSONRoundTrip(t *testing.T) {
 }
 
 func TestPolicyJSONSmallGrid(t *testing.T) {
+	t.Parallel()
 	p := New(Config{Grid: ou.DefaultGrid(32), Seed: 2})
 	data, err := json.Marshal(p)
 	if err != nil {
@@ -62,6 +64,7 @@ func TestPolicyJSONSmallGrid(t *testing.T) {
 }
 
 func TestPolicyUnmarshalRejectsGridMismatch(t *testing.T) {
+	t.Parallel()
 	p := New(Config{Grid: ou.DefaultGrid(128), Seed: 3})
 	data, _ := json.Marshal(p)
 	// Claim a smaller grid than the network's 6-way heads support.
@@ -73,6 +76,7 @@ func TestPolicyUnmarshalRejectsGridMismatch(t *testing.T) {
 }
 
 func TestPolicyUnmarshalRejectsGarbage(t *testing.T) {
+	t.Parallel()
 	var back Policy
 	if err := json.Unmarshal([]byte(`{"grid":{"MinLevel":5,"MaxLevel":2}}`), &back); err == nil {
 		t.Fatal("inverted grid accepted")

@@ -35,7 +35,7 @@ func NewCrossbar(size int, params DeviceParams) *Crossbar {
 		panic(fmt.Sprintf("reram: invalid crossbar size %d", size))
 	}
 	if err := params.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("reram: %v", err))
 	}
 	return &Crossbar{
 		size:   size,

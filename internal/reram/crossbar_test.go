@@ -27,6 +27,7 @@ func randomInput(n int, seed uint64) []float64 {
 }
 
 func TestNewCrossbarPanicsOnBadSize(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("size 0 did not panic")
@@ -36,6 +37,7 @@ func TestNewCrossbarPanicsOnBadSize(t *testing.T) {
 }
 
 func TestProgramRejectsOversizedBlock(t *testing.T) {
+	t.Parallel()
 	x := NewCrossbar(8, DefaultDeviceParams())
 	defer func() {
 		if recover() == nil {
@@ -46,6 +48,7 @@ func TestProgramRejectsOversizedBlock(t *testing.T) {
 }
 
 func TestIdealMVMMatchesQuantisedWeights(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	p.BitsPerCell = 8 // fine quantisation so the ideal MVM ≈ float MVM
 	x := NewCrossbar(16, p)
@@ -66,6 +69,7 @@ func TestIdealMVMMatchesQuantisedWeights(t *testing.T) {
 }
 
 func TestMVMErrorGrowsWithOUSize(t *testing.T) {
+	t.Parallel()
 	x := NewCrossbar(128, DefaultDeviceParams())
 	x.Program(randomBlock(128, 128, 4), 0)
 	in := randomInput(128, 5)
@@ -80,6 +84,7 @@ func TestMVMErrorGrowsWithOUSize(t *testing.T) {
 }
 
 func TestMVMErrorGrowsWithTime(t *testing.T) {
+	t.Parallel()
 	x := NewCrossbar(64, DefaultDeviceParams())
 	x.Program(randomBlock(64, 64, 6), 0)
 	in := randomInput(64, 7)
@@ -94,6 +99,7 @@ func TestMVMErrorGrowsWithTime(t *testing.T) {
 }
 
 func TestReprogramResetsDrift(t *testing.T) {
+	t.Parallel()
 	x := NewCrossbar(32, DefaultDeviceParams())
 	x.Program(randomBlock(32, 32, 8), 0)
 	in := randomInput(32, 9)
@@ -112,6 +118,7 @@ func TestReprogramResetsDrift(t *testing.T) {
 }
 
 func TestAgeClamping(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	x := NewCrossbar(8, p)
 	x.Program(randomBlock(8, 8, 10), 100)
@@ -124,6 +131,7 @@ func TestAgeClamping(t *testing.T) {
 }
 
 func TestMVMNoiseIsZeroMeanish(t *testing.T) {
+	t.Parallel()
 	x := NewCrossbar(32, DefaultDeviceParams())
 	x.Program(randomBlock(32, 32, 11), 0)
 	in := randomInput(32, 12)
@@ -144,6 +152,7 @@ func TestMVMNoiseIsZeroMeanish(t *testing.T) {
 }
 
 func TestMVMInputLengthPanics(t *testing.T) {
+	t.Parallel()
 	x := NewCrossbar(8, DefaultDeviceParams())
 	x.Program(randomBlock(8, 8, 14), 0)
 	defer func() {
@@ -155,6 +164,7 @@ func TestMVMInputLengthPanics(t *testing.T) {
 }
 
 func TestZeroWeightBlock(t *testing.T) {
+	t.Parallel()
 	x := NewCrossbar(8, DefaultDeviceParams())
 	x.Program(mat.NewDense(8, 8), 0) // all zeros must not divide by zero
 	out := x.IdealMVM(randomInput(8, 15))
@@ -168,6 +178,7 @@ func TestZeroWeightBlock(t *testing.T) {
 }
 
 func TestRelativeErrorZeroDenominator(t *testing.T) {
+	t.Parallel()
 	x := NewCrossbar(4, DefaultDeviceParams())
 	x.Program(randomBlock(4, 4, 16), 0)
 	// Zero input → zero ideal output → error defined as 0.
@@ -177,6 +188,7 @@ func TestRelativeErrorZeroDenominator(t *testing.T) {
 }
 
 func TestPartialBlockProgramming(t *testing.T) {
+	t.Parallel()
 	// A 5×3 block in a 16×16 crossbar: unprogrammed cells must not
 	// contribute to MVM outputs.
 	x := NewCrossbar(16, DefaultDeviceParams())

@@ -7,12 +7,14 @@ import (
 )
 
 func TestDefaultParamsValid(t *testing.T) {
+	t.Parallel()
 	if err := DefaultDeviceParams().Validate(); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestValidateRejectsBadParams(t *testing.T) {
+	t.Parallel()
 	base := DefaultDeviceParams()
 	mutate := []func(*DeviceParams){
 		func(p *DeviceParams) { p.GOn = 0 },
@@ -34,6 +36,7 @@ func TestValidateRejectsBadParams(t *testing.T) {
 }
 
 func TestGDriftAtT0IsGOn(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	if g := p.GDrift(p.T0); math.Abs(g-p.GOn) > 1e-18 {
 		t.Fatalf("GDrift(t0) = %v, want GOn = %v", g, p.GOn)
@@ -41,6 +44,7 @@ func TestGDriftAtT0IsGOn(t *testing.T) {
 }
 
 func TestGDriftClampsBelowT0(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	if g := p.GDrift(p.T0 / 10); g != p.GOn {
 		t.Fatalf("GDrift before t0 = %v, want GOn", g)
@@ -48,6 +52,7 @@ func TestGDriftClampsBelowT0(t *testing.T) {
 }
 
 func TestGDriftMonotoneDecreasing(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	prev := p.GDrift(1)
 	for _, tt := range []float64{10, 100, 1e4, 1e6, 1e8} {
@@ -60,6 +65,7 @@ func TestGDriftMonotoneDecreasing(t *testing.T) {
 }
 
 func TestGDriftPowerLaw(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	// (1e5)^-0.2 = 10^-1 = 0.1
 	want := p.GOn * 0.1
@@ -69,6 +75,7 @@ func TestGDriftPowerLaw(t *testing.T) {
 }
 
 func TestDeltaGAtT0MatchesHandComputation(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	// ΔG(16,16,t0) = |GOn − 1/(1/GOn + 32)| with GOn = 333 µS.
 	inv := 1.0/p.GOn + 32.0
@@ -84,6 +91,7 @@ func TestDeltaGAtT0MatchesHandComputation(t *testing.T) {
 }
 
 func TestDeltaGMonotoneInOUSize(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	for _, tt := range []float64{1, 100, 1e4} {
 		prev := -1.0
@@ -98,6 +106,7 @@ func TestDeltaGMonotoneInOUSize(t *testing.T) {
 }
 
 func TestDeltaGMonotoneInTime(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	prev := -1.0
 	for _, tt := range []float64{1, 10, 100, 1e4, 1e6, 1e8} {
@@ -110,6 +119,7 @@ func TestDeltaGMonotoneInTime(t *testing.T) {
 }
 
 func TestDeltaGPropertyQuick(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	f := func(rRaw, cRaw uint8, tRaw uint32) bool {
 		r := int(rRaw%128) + 1
@@ -129,6 +139,7 @@ func TestDeltaGPropertyQuick(t *testing.T) {
 }
 
 func TestDeltaGPanicsOnBadOU(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	defer func() {
 		if recover() == nil {
@@ -139,6 +150,7 @@ func TestDeltaGPanicsOnBadOU(t *testing.T) {
 }
 
 func TestEffectiveConductanceBounds(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	for _, g := range []float64{p.GOff, p.GOn / 2, p.GOn} {
 		eff := p.EffectiveConductance(g, 16, 16, p.T0)
@@ -152,6 +164,7 @@ func TestEffectiveConductanceBounds(t *testing.T) {
 }
 
 func TestReprogramCosts(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	e := p.ReprogramEnergy(1000)
 	want := 1000 * p.WriteEnergyPerCell * float64(p.WritePulses)
@@ -171,6 +184,7 @@ func TestReprogramCosts(t *testing.T) {
 }
 
 func TestQuantizeToLevel(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams() // 2 bits → 4 levels
 	if got := p.CellLevels(); got != 4 {
 		t.Fatalf("CellLevels = %d, want 4", got)
@@ -200,6 +214,7 @@ func TestQuantizeToLevel(t *testing.T) {
 }
 
 func TestQuantizeMonotoneProperty(t *testing.T) {
+	t.Parallel()
 	p := DefaultDeviceParams()
 	f := func(aRaw, bRaw uint16) bool {
 		a := float64(aRaw) / 65535

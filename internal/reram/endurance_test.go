@@ -6,6 +6,7 @@ import (
 )
 
 func TestDefaultEnduranceValid(t *testing.T) {
+	t.Parallel()
 	if err := DefaultEndurance().Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -15,6 +16,7 @@ func TestDefaultEnduranceValid(t *testing.T) {
 }
 
 func TestWearFraction(t *testing.T) {
+	t.Parallel()
 	e := Endurance{WriteLimit: 1e6}
 	p := DefaultDeviceParams() // 1 pulse per write
 	if got := e.WearFraction(1000, p); math.Abs(got-1e-3) > 1e-12 {
@@ -27,6 +29,7 @@ func TestWearFraction(t *testing.T) {
 }
 
 func TestLifetimeExtrapolation(t *testing.T) {
+	t.Parallel()
 	e := Endurance{WriteLimit: 1e6}
 	p := DefaultDeviceParams()
 	// 100 passes over 1e8 s → 1e-6 writes/s → life = 1e12 s.
@@ -44,6 +47,7 @@ func TestLifetimeExtrapolation(t *testing.T) {
 }
 
 func TestLifetimeOrdering(t *testing.T) {
+	t.Parallel()
 	// Fewer reprograms → strictly longer life at the same horizon.
 	e := DefaultEndurance()
 	p := DefaultDeviceParams()

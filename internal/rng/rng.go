@@ -30,7 +30,7 @@ func New(seed uint64) *Source {
 // yields the same stream.
 func NewFromString(label string) *Source {
 	h := fnv.New64a()
-	h.Write([]byte(label))
+	_, _ = h.Write([]byte(label)) // hash.Hash.Write is documented to never fail
 	return &Source{state: h.Sum64()}
 }
 
@@ -93,6 +93,6 @@ func (s *Source) Bernoulli(p float64) bool {
 // giving each layer / crossbar / trial its own stream.
 func (s *Source) Fork(label string) *Source {
 	h := fnv.New64a()
-	h.Write([]byte(label))
+	_, _ = h.Write([]byte(label)) // hash.Hash.Write is documented to never fail
 	return &Source{state: s.Uint64() ^ h.Sum64()}
 }

@@ -6,6 +6,7 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	a, b := New(123), New(123)
 	for i := 0; i < 100; i++ {
 		if a.Uint64() != b.Uint64() {
@@ -15,6 +16,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestDifferentSeedsDiffer(t *testing.T) {
+	t.Parallel()
 	a, b := New(1), New(2)
 	same := 0
 	for i := 0; i < 64; i++ {
@@ -28,6 +30,7 @@ func TestDifferentSeedsDiffer(t *testing.T) {
 }
 
 func TestNewFromStringStable(t *testing.T) {
+	t.Parallel()
 	a, b := NewFromString("layer-3"), NewFromString("layer-3")
 	if a.Uint64() != b.Uint64() {
 		t.Fatal("same label produced different streams")
@@ -39,6 +42,7 @@ func TestNewFromStringStable(t *testing.T) {
 }
 
 func TestFloat64Range(t *testing.T) {
+	t.Parallel()
 	s := New(99)
 	for i := 0; i < 10000; i++ {
 		v := s.Float64()
@@ -49,6 +53,7 @@ func TestFloat64Range(t *testing.T) {
 }
 
 func TestFloat64Mean(t *testing.T) {
+	t.Parallel()
 	s := New(7)
 	var sum float64
 	const n = 200000
@@ -62,6 +67,7 @@ func TestFloat64Mean(t *testing.T) {
 }
 
 func TestIntnBoundsAndPanic(t *testing.T) {
+	t.Parallel()
 	s := New(5)
 	for i := 0; i < 1000; i++ {
 		v := s.Intn(7)
@@ -78,6 +84,7 @@ func TestIntnBoundsAndPanic(t *testing.T) {
 }
 
 func TestNormFloat64Moments(t *testing.T) {
+	t.Parallel()
 	s := New(11)
 	const n = 200000
 	var sum, sumSq float64
@@ -97,6 +104,7 @@ func TestNormFloat64Moments(t *testing.T) {
 }
 
 func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
 	s := New(3)
 	for n := 1; n <= 20; n++ {
 		p := s.Perm(n)
@@ -111,6 +119,7 @@ func TestPermIsPermutation(t *testing.T) {
 }
 
 func TestBernoulliExtremes(t *testing.T) {
+	t.Parallel()
 	s := New(13)
 	for i := 0; i < 100; i++ {
 		if s.Bernoulli(0) {
@@ -123,6 +132,7 @@ func TestBernoulliExtremes(t *testing.T) {
 }
 
 func TestBernoulliRate(t *testing.T) {
+	t.Parallel()
 	s := New(17)
 	const n = 100000
 	hits := 0
@@ -138,6 +148,7 @@ func TestBernoulliRate(t *testing.T) {
 }
 
 func TestForkDecorrelates(t *testing.T) {
+	t.Parallel()
 	parent := New(21)
 	a := parent.Fork("a")
 	parent2 := New(21)
@@ -154,6 +165,7 @@ func TestForkDecorrelates(t *testing.T) {
 }
 
 func TestZeroValueUsable(t *testing.T) {
+	t.Parallel()
 	var s Source
 	_ = s.Uint64() // must not panic
 }

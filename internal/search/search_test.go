@@ -30,6 +30,7 @@ func testObjective(layer, of int, t float64) Objective {
 }
 
 func TestExhaustiveFindsGlobalOptimum(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	o := testObjective(5, 20, 1)
 	res := Exhaustive(g, o)
@@ -51,6 +52,7 @@ func TestExhaustiveFindsGlobalOptimum(t *testing.T) {
 }
 
 func TestExhaustiveRespectsConstraint(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	// Late enough that only small OUs pass for an early layer.
 	o := testObjective(0, 20, 1e7)
@@ -67,6 +69,7 @@ func TestExhaustiveRespectsConstraint(t *testing.T) {
 }
 
 func TestExhaustiveInfeasibleEverywhere(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	o := testObjective(0, 20, 1e13) // far past any deadline
 	res := Exhaustive(g, o)
@@ -79,6 +82,7 @@ func TestExhaustiveInfeasibleEverywhere(t *testing.T) {
 }
 
 func TestResourceBoundedFromOptimumStaysThere(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	o := testObjective(5, 20, 1)
 	ex := Exhaustive(g, o)
@@ -92,6 +96,7 @@ func TestResourceBoundedFromOptimumStaysThere(t *testing.T) {
 }
 
 func TestResourceBoundedCheaperThanExhaustive(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	o := testObjective(5, 20, 1)
 	ex := Exhaustive(g, o)
@@ -107,6 +112,7 @@ func TestResourceBoundedCheaperThanExhaustive(t *testing.T) {
 }
 
 func TestResourceBoundedImprovesOnBadStart(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	o := testObjective(5, 20, 1)
 	start := g.SizeAt(5, 5) // 128×128 — likely far from optimal
@@ -120,6 +126,7 @@ func TestResourceBoundedImprovesOnBadStart(t *testing.T) {
 }
 
 func TestResourceBoundedEscapesInfeasibleStart(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	// Early layer at high drift: large OUs infeasible, small ones OK.
 	o := testObjective(0, 20, 5e6)
@@ -139,6 +146,7 @@ func TestResourceBoundedEscapesInfeasibleStart(t *testing.T) {
 }
 
 func TestResourceBoundedOffGridStartSnaps(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	o := testObjective(5, 20, 1)
 	rb := ResourceBounded(g, o, ou.Size{R: 9, C: 8}, 3) // the 9×8 baseline is off-grid
@@ -151,6 +159,7 @@ func TestResourceBoundedOffGridStartSnaps(t *testing.T) {
 }
 
 func TestResourceBoundedZeroStepsEvaluatesStartOnly(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	o := testObjective(5, 20, 1)
 	rb := ResourceBounded(g, o, g.SizeAt(2, 2), 0)
@@ -163,6 +172,7 @@ func TestResourceBoundedZeroStepsEvaluatesStartOnly(t *testing.T) {
 }
 
 func TestResourceBoundedEvaluationBudget(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	o := testObjective(5, 20, 1)
 	for _, k := range []int{1, 2, 3, 5} {
@@ -174,6 +184,7 @@ func TestResourceBoundedEvaluationBudget(t *testing.T) {
 }
 
 func TestSearchAgreementOverTimeSweep(t *testing.T) {
+	t.Parallel()
 	// RB (seeded with EX's previous answer, as the online loop effectively
 	// does once the policy adapts) should track EX closely across the drift
 	// sweep — the Fig. 5 observation.
@@ -198,6 +209,7 @@ func TestSearchAgreementOverTimeSweep(t *testing.T) {
 }
 
 func TestClampFeasibleIdentityWhenFeasible(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	o := testObjective(5, 20, 1)
 	s := g.SizeAt(2, 2)
@@ -207,6 +219,7 @@ func TestClampFeasibleIdentityWhenFeasible(t *testing.T) {
 }
 
 func TestClampFeasibleShrinksToFeasible(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	// Early layer at high drift: large sizes infeasible.
 	o := testObjective(0, 20, 5e6)
@@ -220,6 +233,7 @@ func TestClampFeasibleShrinksToFeasible(t *testing.T) {
 }
 
 func TestClampFeasibleBottomsOutAtSmallest(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	o := testObjective(0, 20, 1e13) // nothing feasible
 	if got := ClampFeasible(g, o, g.SizeAt(5, 5)); got != g.SizeAt(0, 0) {
@@ -228,6 +242,7 @@ func TestClampFeasibleBottomsOutAtSmallest(t *testing.T) {
 }
 
 func TestClampFeasibleSnapsOffGrid(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	o := testObjective(5, 20, 1)
 	got := ClampFeasible(g, o, ou.Size{R: 9, C: 8})
@@ -239,6 +254,7 @@ func TestClampFeasibleSnapsOffGrid(t *testing.T) {
 // Property: ClampFeasible's result is always on the grid, and feasible
 // whenever anything is feasible.
 func TestClampFeasibleProperty(t *testing.T) {
+	t.Parallel()
 	g := ou.DefaultGrid(128)
 	for _, layer := range []int{0, 5, 19} {
 		for _, tt := range []float64{1, 1e3, 1e6, 1e8} {

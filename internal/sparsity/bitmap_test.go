@@ -10,6 +10,7 @@ func testProfile() Profile {
 }
 
 func TestBitmapBasics(t *testing.T) {
+	t.Parallel()
 	b := NewBitmap(10, 20)
 	if b.Get(3, 7) {
 		t.Fatal("fresh bitmap not zero")
@@ -24,6 +25,7 @@ func TestBitmapBasics(t *testing.T) {
 }
 
 func TestBitmapPanics(t *testing.T) {
+	t.Parallel()
 	for _, fn := range []func(){
 		func() { NewBitmap(0, 5) },
 		func() { NewBitmap(5, 5).Get(5, 0) },
@@ -44,6 +46,7 @@ func TestBitmapPanics(t *testing.T) {
 }
 
 func TestSynthesizeMatchesDensity(t *testing.T) {
+	t.Parallel()
 	p := testProfile()
 	b := Synthesize(512, 512, p, "density")
 	// Non-zero density ≈ 1 − Weight.
@@ -53,6 +56,7 @@ func TestSynthesizeMatchesDensity(t *testing.T) {
 }
 
 func TestSynthesizeDeterministic(t *testing.T) {
+	t.Parallel()
 	p := testProfile()
 	a := Synthesize(64, 64, p, "same")
 	b := Synthesize(64, 64, p, "same")
@@ -80,6 +84,7 @@ func TestSynthesizeDeterministic(t *testing.T) {
 // The headline validation: the measured segment-zero fraction of a
 // synthesized bitmap tracks the analytic Profile model across OU widths.
 func TestMeasuredSkipMatchesAnalyticModel(t *testing.T) {
+	t.Parallel()
 	p := testProfile()
 	b := Synthesize(1024, 512, p, "validate")
 	for _, width := range []int{4, 8, 16, 32, 64} {
@@ -92,6 +97,7 @@ func TestMeasuredSkipMatchesAnalyticModel(t *testing.T) {
 }
 
 func TestMeasuredSkipMonotoneInWidth(t *testing.T) {
+	t.Parallel()
 	b := Synthesize(256, 256, testProfile(), "mono")
 	prev := 2.0
 	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
@@ -104,6 +110,7 @@ func TestMeasuredSkipMonotoneInWidth(t *testing.T) {
 }
 
 func TestOUCyclesExactSmallCase(t *testing.T) {
+	t.Parallel()
 	// 4×4 bitmap, rows 0 and 2 non-zero in the left pair of columns only.
 	b := NewBitmap(4, 4)
 	b.Set(0, 0)
@@ -120,6 +127,7 @@ func TestOUCyclesExactSmallCase(t *testing.T) {
 }
 
 func TestOUCyclesMonotoneInR(t *testing.T) {
+	t.Parallel()
 	b := Synthesize(256, 256, testProfile(), "cycles")
 	prev := math.MaxInt
 	for _, r := range []int{4, 8, 16, 32, 64, 128} {
@@ -132,6 +140,7 @@ func TestOUCyclesMonotoneInR(t *testing.T) {
 }
 
 func TestCompressRowIndices(t *testing.T) {
+	t.Parallel()
 	b := NewBitmap(256, 32)
 	b.Set(0, 0)
 	b.Set(100, 5)
@@ -151,6 +160,7 @@ func TestCompressRowIndices(t *testing.T) {
 }
 
 func TestIndexStorageGrowsWithNarrowerOUs(t *testing.T) {
+	t.Parallel()
 	// Narrow OU columns mean more column groups, hence more stored
 	// indices — the §II storage-blowup argument.
 	b := Synthesize(512, 512, testProfile(), "storage")
@@ -163,6 +173,7 @@ func TestIndexStorageGrowsWithNarrowerOUs(t *testing.T) {
 }
 
 func TestBitmapConsistencyWithAnalyticCycles(t *testing.T) {
+	t.Parallel()
 	// The analytic LayerWork cycle model and the measured bitmap cycles
 	// agree within discretisation error on matched inputs.
 	p := testProfile()

@@ -8,12 +8,14 @@ import (
 )
 
 func TestDefaultConfigValid(t *testing.T) {
+	t.Parallel()
 	if err := DefaultConfig().Validate(); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestConfigValidation(t *testing.T) {
+	t.Parallel()
 	mutations := []func(*Config){
 		func(c *Config) { c.BaseSparsity = 1 },
 		func(c *Config) { c.BaseSparsity = -0.1 },
@@ -31,6 +33,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestPruneFillsAllLayers(t *testing.T) {
+	t.Parallel()
 	m := dnn.NewResNet18()
 	if err := Prune(m, DefaultConfig()); err != nil {
 		t.Fatal(err)
@@ -49,6 +52,7 @@ func TestPruneFillsAllLayers(t *testing.T) {
 }
 
 func TestPruneDeterministic(t *testing.T) {
+	t.Parallel()
 	a, b := dnn.NewVGG11(), dnn.NewVGG11()
 	cfg := DefaultConfig()
 	if err := Prune(a, cfg); err != nil {
@@ -65,6 +69,7 @@ func TestPruneDeterministic(t *testing.T) {
 }
 
 func TestPruneSeedChangesDraws(t *testing.T) {
+	t.Parallel()
 	a, b := dnn.NewVGG11(), dnn.NewVGG11()
 	cfgA, cfgB := DefaultConfig(), DefaultConfig()
 	cfgB.Seed = 99
@@ -82,6 +87,7 @@ func TestPruneSeedChangesDraws(t *testing.T) {
 }
 
 func TestStemPrunedGently(t *testing.T) {
+	t.Parallel()
 	m := dnn.NewResNet18()
 	_ = Prune(m, DefaultConfig())
 	stem := m.Layers[0].WeightSparsity
@@ -103,6 +109,7 @@ func TestStemPrunedGently(t *testing.T) {
 }
 
 func TestPruneRejectsBadConfig(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig()
 	cfg.BaseSparsity = 2
 	if err := Prune(dnn.NewVGG11(), cfg); err == nil {
@@ -111,6 +118,7 @@ func TestPruneRejectsBadConfig(t *testing.T) {
 }
 
 func TestSegmentZeroFractionBasics(t *testing.T) {
+	t.Parallel()
 	p := Profile{Weight: 0.6, Cluster: 0.85}
 	f := p.SegmentZeroFraction(16)
 	if f <= 0 || f >= 1 {
@@ -123,6 +131,7 @@ func TestSegmentZeroFractionBasics(t *testing.T) {
 }
 
 func TestSegmentZeroFractionMonotoneInWidth(t *testing.T) {
+	t.Parallel()
 	p := Profile{Weight: 0.7, Cluster: 0.5}
 	prev := 2.0
 	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
@@ -135,6 +144,7 @@ func TestSegmentZeroFractionMonotoneInWidth(t *testing.T) {
 }
 
 func TestSegmentZeroFractionQuickProperties(t *testing.T) {
+	t.Parallel()
 	f := func(wRaw uint8, sRaw, cRaw uint16) bool {
 		width := int(wRaw%128) + 1
 		p := Profile{
@@ -154,6 +164,7 @@ func TestSegmentZeroFractionQuickProperties(t *testing.T) {
 }
 
 func TestSegmentZeroFractionDenseLayer(t *testing.T) {
+	t.Parallel()
 	p := Profile{Weight: 0, Cluster: 0.85}
 	if p.SegmentZeroFraction(8) != 0 {
 		t.Fatal("dense layer should have no skippable segments")
@@ -161,6 +172,7 @@ func TestSegmentZeroFractionDenseLayer(t *testing.T) {
 }
 
 func TestSegmentZeroFractionFullSparseClamped(t *testing.T) {
+	t.Parallel()
 	p := Profile{Weight: 0.999999, Cluster: 1}
 	if f := p.SegmentZeroFraction(4); f >= 1 {
 		t.Fatalf("fraction %v must stay below 1", f)
@@ -168,6 +180,7 @@ func TestSegmentZeroFractionFullSparseClamped(t *testing.T) {
 }
 
 func TestSegmentZeroFractionPanicsOnBadWidth(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("width 0 did not panic")
@@ -177,6 +190,7 @@ func TestSegmentZeroFractionPanicsOnBadWidth(t *testing.T) {
 }
 
 func TestProfileForUsesLayerSparsity(t *testing.T) {
+	t.Parallel()
 	m := dnn.NewVGG11()
 	cfg := DefaultConfig()
 	_ = Prune(m, cfg)
@@ -187,6 +201,7 @@ func TestProfileForUsesLayerSparsity(t *testing.T) {
 }
 
 func TestEffectiveRowSkipNarrowBeatsWide(t *testing.T) {
+	t.Parallel()
 	m := dnn.NewVGG11()
 	cfg := DefaultConfig()
 	_ = Prune(m, cfg)
@@ -197,6 +212,7 @@ func TestEffectiveRowSkipNarrowBeatsWide(t *testing.T) {
 }
 
 func TestActivationSparsityTransformerLower(t *testing.T) {
+	t.Parallel()
 	vit := dnn.NewViT()
 	cfg := DefaultConfig()
 	_ = Prune(vit, cfg)
@@ -223,6 +239,7 @@ func TestActivationSparsityTransformerLower(t *testing.T) {
 }
 
 func TestAllWorkloadsPrunable(t *testing.T) {
+	t.Parallel()
 	for _, m := range dnn.AllWorkloads() {
 		if err := Prune(m, DefaultConfig()); err != nil {
 			t.Errorf("%s: %v", m.Name, err)

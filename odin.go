@@ -46,6 +46,7 @@ package odin
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"odin/internal/accuracy"
@@ -189,7 +190,7 @@ func ModelByName(name string) (*Model, error) { return dnn.ByName(name) }
 func MustModel(name string) *Model {
 	m, err := dnn.ByName(name)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("odin: %v", err))
 	}
 	return m
 }

@@ -7,6 +7,7 @@ import (
 )
 
 func TestNewSystemIsPaperPlatform(t *testing.T) {
+	t.Parallel()
 	sys := NewSystem()
 	if err := sys.Validate(); err != nil {
 		t.Fatal(err)
@@ -21,6 +22,7 @@ func TestNewSystemIsPaperPlatform(t *testing.T) {
 }
 
 func TestModelsZoo(t *testing.T) {
+	t.Parallel()
 	models := Models()
 	if len(models) != 9 {
 		t.Fatalf("zoo has %d workloads, want 9", len(models))
@@ -41,6 +43,7 @@ func TestModelsZoo(t *testing.T) {
 }
 
 func TestLeaveOutFacade(t *testing.T) {
+	t.Parallel()
 	rest := LeaveOut(Models(), "ResNet")
 	if len(rest) != 6 {
 		t.Fatalf("LeaveOut kept %d, want 6", len(rest))
@@ -48,6 +51,7 @@ func TestLeaveOutFacade(t *testing.T) {
 }
 
 func TestPublicAPIEndToEnd(t *testing.T) {
+	t.Parallel()
 	// The quickstart flow, compressed: bootstrap → adapt → compare.
 	sys := NewSystem()
 	wl, err := sys.Prepare(MustModel("VGG11"))
@@ -92,6 +96,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 }
 
 func TestBaselineSizesArePaperConfigs(t *testing.T) {
+	t.Parallel()
 	sizes := BaselineSizes()
 	want := []Size{{R: 16, C: 16}, {R: 16, C: 4}, {R: 9, C: 8}, {R: 8, C: 4}}
 	if len(sizes) != len(want) {
@@ -105,6 +110,7 @@ func TestBaselineSizesArePaperConfigs(t *testing.T) {
 }
 
 func TestCrossbarFacade(t *testing.T) {
+	t.Parallel()
 	xbar := NewCrossbar(64, DefaultDeviceParams())
 	w := RandomWeights(64, 64, "facade-test")
 	xbar.Program(w, 0)
@@ -120,6 +126,7 @@ func TestCrossbarFacade(t *testing.T) {
 }
 
 func TestRandomWeightsDeterministic(t *testing.T) {
+	t.Parallel()
 	a := RandomWeights(4, 4, "seed")
 	b := RandomWeights(4, 4, "seed")
 	for i := range a.Data {
@@ -134,6 +141,7 @@ func TestRandomWeightsDeterministic(t *testing.T) {
 }
 
 func TestNewPolicyGridMatchesSystem(t *testing.T) {
+	t.Parallel()
 	sys := NewSystem().WithCrossbarSize(64)
 	pol := NewPolicy(sys, 3)
 	if pol.Grid() != sys.Grid() {
@@ -142,6 +150,7 @@ func TestNewPolicyGridMatchesSystem(t *testing.T) {
 }
 
 func TestSaveLoadPolicy(t *testing.T) {
+	t.Parallel()
 	sys := NewSystem()
 	pol := NewPolicy(sys, 5)
 	var buf bytes.Buffer
@@ -162,6 +171,7 @@ func TestSaveLoadPolicy(t *testing.T) {
 }
 
 func TestExtensionModelViaFacade(t *testing.T) {
+	t.Parallel()
 	m, err := ModelByName("MobileNetV2")
 	if err != nil || m.Name != "MobileNetV2" {
 		t.Fatalf("extension workload not resolvable: %v %v", m, err)
@@ -177,6 +187,7 @@ func TestExtensionModelViaFacade(t *testing.T) {
 }
 
 func TestFacadeBaselineRoundTrip(t *testing.T) {
+	t.Parallel()
 	sys := NewSystem()
 	wl, err := sys.Prepare(MustModel("ResNet18"))
 	if err != nil {
