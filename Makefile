@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench ci
+.PHONY: all build fmt vet lint test race bench loadsmoke ci
 
 all: ci
 
@@ -24,8 +24,10 @@ vet:
 # Project-specific static analysis: determinism (internal/rng only),
 # float-equality hygiene, unit-family safety, panic prefixes, dropped
 # errors. See `go run ./cmd/odinlint -list` and DESIGN.md §6.
+# internal/clock/real.go is the single sanctioned wall-clock read (live
+# serving injects it; results never depend on it), exempted by path.
 lint:
-	$(GO) run ./cmd/odinlint ./...
+	$(GO) run ./cmd/odinlint -exempt nondeterminism=internal/clock/real.go ./...
 
 test:
 	$(GO) test ./...
@@ -38,4 +40,11 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-ci: build fmt vet lint test race bench
+# Serving-layer gate: race-check internal/serve, then replay a deterministic
+# load trace twice at nominal rate (30% of fleet capacity) and require zero
+# sheds and byte-identical decision logs across the two replays.
+loadsmoke:
+	$(GO) test -race ./internal/serve/...
+	$(GO) run ./cmd/odinserve replay -models VGG11,VGG11 -requests 200 -verify -max-shed 0
+
+ci: build fmt vet lint test race bench loadsmoke

@@ -15,12 +15,14 @@ import (
 	"io"
 	"testing"
 
+	"odin/internal/clock"
 	"odin/internal/core"
 	"odin/internal/dnn"
 	"odin/internal/experiments"
 	"odin/internal/ou"
 	"odin/internal/reram"
 	"odin/internal/search"
+	"odin/internal/serve"
 )
 
 // benchmarkExperiment regenerates one evaluation artefact per iteration.
@@ -192,6 +194,67 @@ func BenchmarkControllerRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = ctrl.RunInference(float64(i))
+	}
+}
+
+// BenchmarkControllerLayerDecision measures the per-layer slice of the
+// controller hot path — one policy prediction plus the clamp-and-RB-search
+// refinement — isolated from per-run bookkeeping. Multiply by the layer
+// count for the decision cost of one serving-path batch.
+func BenchmarkControllerLayerDecision(b *testing.B) {
+	sys := core.DefaultSystem()
+	wl, err := sys.Prepare(dnn.NewVGG11())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := NewPolicy(sys, 1)
+	grid := sys.Grid()
+	feat := wl.FeaturesAt(4, 1e4)
+	obj := core.LayerObjective(sys, wl, 4, 1e4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		predicted := pol.Predict(feat)
+		start := search.ClampFeasible(grid, obj, predicted)
+		_ = search.ResourceBounded(grid, obj, start, 3)
+	}
+}
+
+// BenchmarkServeBatchDispatch measures the serving layer end to end on a
+// virtual clock: routing, admission, batch coalescing, worker execution,
+// and response delivery, amortised per request. Arrivals land faster than
+// the service rate so batches coalesce (the steady-state serving regime).
+func BenchmarkServeBatchDispatch(b *testing.B) {
+	clk := clock.NewVirtual(0)
+	srv, err := serve.NewServer(serve.Config{
+		Chips:      []serve.ChipConfig{{Model: "VGG11"}, {Model: "VGG11"}},
+		QueueDepth: 64,
+		MaxBatch:   8,
+		Clock:      clk,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	probe := core.DefaultSystem()
+	wl, err := probe.Prepare(dnn.NewVGG11())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := core.NewController(probe, wl, NewPolicy(probe, 99), core.ControllerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gap := ctrl.RunInference(0).Latency / 4 // ~4 arrivals per service time
+	b.ReportAllocs()
+	b.ResetTimer()
+	chans := make([]<-chan serve.Response, b.N)
+	for i := 0; i < b.N; i++ {
+		clk.Set(float64(i) * gap)
+		chans[i] = srv.Submit("VGG11")
+	}
+	srv.Close()
+	for _, ch := range chans {
+		<-ch
 	}
 }
 

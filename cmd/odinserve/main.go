@@ -1,0 +1,294 @@
+// Command odinserve runs the concurrent inference-serving layer over a
+// simulated fleet of ReRAM chips (internal/serve).
+//
+// Usage:
+//
+//	odinserve replay [flags]   # deterministic load replay on a virtual clock
+//	odinserve serve  [flags]   # live HTTP serving on the real clock
+//
+// replay generates a Poisson arrival trace from internal/rng, drives it
+// through a fresh fleet, and prints aggregate figures plus an FNV-1a
+// checksum of the per-request OU decision log. With -verify it replays the
+// same trace against a second fresh fleet and fails unless the two decision
+// logs are byte-identical — the determinism contract `make loadsmoke`
+// enforces in CI.
+//
+// serve exposes the fleet over HTTP:
+//
+//	POST /infer?model=NAME   submit one request, JSON response
+//	GET  /metrics            Prometheus text exposition
+//	GET  /healthz            liveness probe
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"odin/internal/clock"
+	"odin/internal/core"
+	"odin/internal/dnn"
+	"odin/internal/policy"
+	"odin/internal/serve"
+	"odin/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "odinserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("no subcommand selected")
+	}
+	switch args[0] {
+	case "replay":
+		return runReplay(args[1:])
+	case "serve":
+		return runServe(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	}
+	usage()
+	return fmt.Errorf("unknown subcommand %q", args[0])
+}
+
+func usage() {
+	fmt.Println("usage: odinserve replay|serve [flags]")
+	fmt.Println("  replay  deterministic load replay on a virtual clock (-h for flags)")
+	fmt.Println("  serve   live HTTP serving on the real clock (-h for flags)")
+}
+
+// fleetFlags are the chip/queue knobs shared by both subcommands.
+type fleetFlags struct {
+	models  *string
+	queue   *int
+	batch   *int
+	workers *int
+	budget  *int
+}
+
+func addFleetFlags(fs *flag.FlagSet) fleetFlags {
+	return fleetFlags{
+		models:  fs.String("models", "VGG11,VGG11", "comma-separated zoo models, one chip each"),
+		queue:   fs.Int("queue", 16, "per-chip queue depth (admission bound)"),
+		batch:   fs.Int("batch", 8, "max requests coalesced per decision pass"),
+		workers: fs.Int("workers", 0, "worker-pool size (0 = one per chip)"),
+		budget:  fs.Int("budget", 0, "per-chip reprogram budget (0 = unlimited)"),
+	}
+}
+
+func (f fleetFlags) config(clk clock.Clock) (serve.Config, error) {
+	cfg := serve.Config{
+		QueueDepth:      *f.queue,
+		MaxBatch:        *f.batch,
+		Workers:         *f.workers,
+		ReprogramBudget: *f.budget,
+		Clock:           clk,
+	}
+	for _, name := range strings.Split(*f.models, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cfg.Chips = append(cfg.Chips, serve.ChipConfig{Model: name})
+	}
+	if len(cfg.Chips) == 0 {
+		return cfg, fmt.Errorf("-models selects no chips")
+	}
+	return cfg, nil
+}
+
+// serviceLatency probes one inference on a fresh controller of the first
+// chip's model — the service-time scale auto-rate calibration needs.
+// Deterministic: the probe shares nothing with the serving fleet.
+func serviceLatency(model string) (float64, error) {
+	m, err := dnn.ByName(model)
+	if err != nil {
+		return 0, err
+	}
+	sys := core.DefaultSystem()
+	wl, err := sys.Prepare(m)
+	if err != nil {
+		return 0, err
+	}
+	pol := policy.New(policy.Config{Grid: sys.Grid(), Seed: 1})
+	ctrl, err := core.NewController(sys, wl, pol, core.ControllerOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return ctrl.RunInference(0).Latency, nil
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("odinserve replay", flag.ContinueOnError)
+	fleet := addFleetFlags(fs)
+	seed := fs.Uint64("seed", 1, "trace rng seed")
+	requests := fs.Int("requests", 200, "trace length")
+	rate := fs.Float64("rate", 0, "arrival rate in requests/s (0 = auto: 30% of fleet capacity)")
+	verify := fs.Bool("verify", false, "replay twice on fresh fleets; fail unless decision logs are byte-identical")
+	maxShed := fs.Int("max-shed", -1, "fail when more than this many requests shed (-1 = no check)")
+	dumpLog := fs.Bool("log", false, "print the per-request decision log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	clk := clock.NewVirtual(0)
+	cfg, err := fleet.config(clk)
+	if err != nil {
+		return err
+	}
+	if *rate == 0 {
+		lat, err := serviceLatency(cfg.Chips[0].Model)
+		if err != nil {
+			return err
+		}
+		*rate = 0.3 * float64(len(cfg.Chips)) / lat
+	}
+	var models []string
+	for _, cc := range cfg.Chips {
+		models = append(models, cc.Model)
+	}
+	tr, err := serve.GenTrace(serve.TraceConfig{
+		Seed: *seed, Rate: *rate, Requests: *requests, Models: models,
+	})
+	if err != nil {
+		return err
+	}
+
+	res, err := replayFresh(cfg, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d requests, rate %.4g req/s, seed %d\n", len(tr), *rate, *seed)
+	fmt.Printf("admitted=%d shed=%d errors=%d reprogram=%d\n",
+		res.Admitted, res.Shed, res.Errors, res.Reprogram)
+	fmt.Printf("energy=%.6g J  latency=%.6g s  wait=%.6g s\n", res.Energy, res.Latency, res.Wait)
+	fmt.Printf("checksum=%#016x\n", res.Checksum)
+	if *dumpLog {
+		if err := res.WriteLog(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if *verify {
+		again, err := replayFresh(cfg, tr)
+		if err != nil {
+			return err
+		}
+		if again.Checksum != res.Checksum {
+			return fmt.Errorf("replay diverged: checksum %#016x vs %#016x", again.Checksum, res.Checksum)
+		}
+		fmt.Println("verify: second replay byte-identical")
+	}
+	if *maxShed >= 0 && res.Shed > *maxShed {
+		return fmt.Errorf("shed %d requests, allowed %d", res.Shed, *maxShed)
+	}
+	return nil
+}
+
+// replayFresh builds a fresh fleet (its own virtual clock and registry) and
+// replays the trace through it.
+func replayFresh(cfg serve.Config, tr serve.Trace) (serve.ReplayResult, error) {
+	clk := clock.NewVirtual(0)
+	cfg.Clock = clk
+	cfg.Registry = telemetry.NewRegistry()
+	s, err := serve.NewServer(cfg)
+	if err != nil {
+		return serve.ReplayResult{}, err
+	}
+	s.Start()
+	return serve.Replay(s, clk, tr), nil
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("odinserve serve", flag.ContinueOnError)
+	fleet := addFleetFlags(fs)
+	addr := fs.String("addr", "localhost:8080", "HTTP listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := fleet.config(clock.NewReal())
+	if err != nil {
+		return err
+	}
+	cfg.Live = true
+	s, err := serve.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	s.Start()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "odinserve: POST /infer?model=NAME", http.StatusMethodNotAllowed)
+			return
+		}
+		model := r.URL.Query().Get("model")
+		if model == "" {
+			http.Error(w, "odinserve: missing model parameter", http.StatusBadRequest)
+			return
+		}
+		resp := <-s.Submit(model)
+		switch {
+		case resp.Shed:
+			w.WriteHeader(http.StatusTooManyRequests)
+		case resp.Err != "":
+			w.WriteHeader(http.StatusBadRequest)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			// Client went away mid-write; nothing sensible left to do.
+			return
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var sb strings.Builder
+		if err := s.Registry().WritePrometheus(&sb); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, sb.String())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("odinserve: listening on %s (%d chips)\n", *addr, len(cfg.Chips))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case sig := <-sigc:
+		fmt.Printf("odinserve: %v, draining\n", sig)
+	}
+	if err := httpSrv.Shutdown(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "odinserve: http shutdown:", err)
+	}
+	s.Close()
+	for _, st := range s.Stats() {
+		fmt.Printf("chip %d (%s): served=%d batches=%d reprograms=%d updates=%d energy=%.6g J\n",
+			st.ID, st.Model, st.Served, st.Batches, st.Reprograms, st.PolicyUpdates, st.Energy)
+	}
+	return nil
+}

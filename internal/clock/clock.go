@@ -1,0 +1,69 @@
+// Package clock abstracts the flow of time behind a minimal interface so
+// that every time-dependent code path in the repository stays deterministic
+// by construction. Simulation results must never depend on the machine's
+// wall clock; the determinism contract (DESIGN.md §6) bans time.Now
+// everywhere. Code that genuinely needs "now" — the serving layer's arrival
+// stamps, odinsim's progress reports — takes a Clock instead: tests and
+// deterministic replay inject a Virtual clock driven by trace timestamps,
+// and only live binaries construct the Real clock (real.go, the single
+// lint-exempted wall-clock read in the module).
+//
+// Time is expressed as float64 seconds since the clock's epoch, matching
+// the simulation-time base used throughout internal/core (device ages,
+// horizon timestamps) so serving arrival times feed the Odin controller
+// without conversion.
+package clock
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Clock yields the current time in seconds since the clock's epoch. The
+// epoch is clock-defined: a Virtual clock starts wherever it was set, the
+// Real clock starts at its construction instant.
+type Clock interface {
+	Now() float64
+}
+
+// Virtual is a manually driven clock for tests and deterministic replay.
+// Time only moves when Set or Advance is called, so a trace replayed
+// against a Virtual clock observes exactly the trace's timestamps. It is
+// safe for concurrent use.
+type Virtual struct {
+	mu sync.Mutex
+	t  float64
+}
+
+// NewVirtual returns a Virtual clock positioned at start seconds.
+func NewVirtual(start float64) *Virtual {
+	return &Virtual{t: start}
+}
+
+// Now returns the clock's current position.
+func (v *Virtual) Now() float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.t
+}
+
+// Set moves the clock to t. Virtual time is monotone: moving backwards is
+// a replay bug and panics.
+func (v *Virtual) Set(t float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t < v.t {
+		panic(fmt.Sprintf("clock: virtual time moved backwards (%g -> %g)", v.t, t))
+	}
+	v.t = t
+}
+
+// Advance moves the clock forward by d seconds (d must be >= 0).
+func (v *Virtual) Advance(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("clock: negative advance %g", d))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.t += d
+}

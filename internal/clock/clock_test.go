@@ -1,0 +1,92 @@
+package clock
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// eq compares clock positions with a tolerance (floateq hygiene).
+func eq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestVirtualStartsAtConstructionTime(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(42.5)
+	if got := v.Now(); !eq(got, 42.5) {
+		t.Fatalf("Now() = %g, want 42.5", got)
+	}
+}
+
+func TestVirtualSetAndAdvance(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(0)
+	v.Set(10)
+	if got := v.Now(); !eq(got, 10) {
+		t.Fatalf("after Set(10): Now() = %g", got)
+	}
+	v.Advance(2.5)
+	if got := v.Now(); !eq(got, 12.5) {
+		t.Fatalf("after Advance(2.5): Now() = %g", got)
+	}
+	// Setting to the current time is a no-op, not a panic.
+	v.Set(12.5)
+	if got := v.Now(); !eq(got, 12.5) {
+		t.Fatalf("after Set(now): Now() = %g", got)
+	}
+}
+
+func TestVirtualPanicsOnBackwardsTime(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set backwards did not panic")
+		}
+	}()
+	v := NewVirtual(5)
+	v.Set(4)
+}
+
+func TestVirtualPanicsOnNegativeAdvance(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	NewVirtual(0).Advance(-1)
+}
+
+func TestVirtualConcurrentReads(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				_ = v.Now()
+			}
+		}()
+	}
+	for j := 0; j < 1000; j++ {
+		v.Advance(0.001)
+	}
+	wg.Wait()
+	if got := v.Now(); !eq(got, 1.0) {
+		t.Fatalf("Now() = %g, want ~1.0", got)
+	}
+}
+
+func TestRealIsMonotone(t *testing.T) {
+	t.Parallel()
+	r := NewReal()
+	prev := r.Now()
+	for i := 0; i < 100; i++ {
+		cur := r.Now()
+		if cur < prev {
+			t.Fatalf("Real clock went backwards: %g -> %g", prev, cur)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,27 @@
+package clock
+
+import "time"
+
+// Real reads the machine wall clock. It exists for live binaries only
+// (cmd/odinserve's serving mode, cmd/odinsim's progress reports); tests and
+// replay paths must inject a Virtual clock instead, so that no simulation
+// result ever depends on real time.
+//
+// This file is the single sanctioned wall-clock read in the module: the
+// odinlint nondeterminism rule is exempted for exactly this path
+// (-exempt nondeterminism=internal/clock/real.go in the Makefile and CI).
+type Real struct {
+	epoch time.Time
+}
+
+// NewReal returns a wall clock whose epoch is the construction instant.
+func NewReal() *Real {
+	return &Real{epoch: time.Now()}
+}
+
+// Now returns wall-clock seconds elapsed since the clock was constructed.
+// The underlying reading is monotonic (Go time.Time carries a monotonic
+// component), so Now never goes backwards across NTP adjustments.
+func (r *Real) Now() float64 {
+	return time.Since(r.epoch).Seconds()
+}

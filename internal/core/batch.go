@@ -1,0 +1,43 @@
+package core
+
+import "fmt"
+
+// BatchReport is the outcome of one coalesced decision pass amortised over
+// a batch of inference requests. The serving layer (internal/serve) groups
+// compatible requests queued for the same chip and runs Algorithm 1 once
+// per batch: every request in the batch executes with the same per-layer OU
+// sizes and is charged the same per-inference energy/latency, while the
+// decision-pass overhead (search evaluations, policy updates) and any
+// reprogramming pass are paid once. This is the request-path analogue of
+// the horizon driver's epoch amortisation (see horizon.go).
+type BatchReport struct {
+	RunReport
+	// Requests is the number of coalesced inference requests (>= 1).
+	Requests int
+}
+
+// BatchEnergy returns the total energy of serving the batch: per-inference
+// energy for every request plus the (at most one) reprogramming pass.
+func (b BatchReport) BatchEnergy() float64 {
+	return float64(b.Requests)*b.Energy + b.ReprogramEnergy
+}
+
+// BatchLatency returns the chip-occupancy time of the batch: requests
+// execute back-to-back on the chip's arrays, and a reprogramming pass
+// (booked on this batch) stalls the chip for its write time.
+func (b BatchReport) BatchLatency() float64 {
+	return float64(b.Requests)*b.Latency + b.ReprogramLatency
+}
+
+// RunBatch executes one Algorithm 1 decision pass at simulation time t and
+// amortises it over n coalesced inference requests. The controller's
+// learning state advances exactly once regardless of n — a batch is one
+// observation of the device, not n — which keeps replayed decision
+// trajectories independent of how arrivals were grouped upstream only when
+// the grouping itself is deterministic (the serving layer guarantees this).
+func (c *Controller) RunBatch(t float64, n int) BatchReport {
+	if n < 1 {
+		panic(fmt.Sprintf("core: RunBatch with non-positive batch size %d", n))
+	}
+	return BatchReport{RunReport: c.RunInference(t), Requests: n}
+}

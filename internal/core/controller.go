@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"odin/internal/mlp"
 	"odin/internal/ou"
@@ -103,6 +104,14 @@ type Controller struct {
 	// freshLatency caches the fresh-device (t₀) constrained-optimal
 	// inference latency, the proactive-reprogram reference. Computed lazily.
 	freshLatency float64
+
+	// running guards against concurrent RunInference calls. A Controller
+	// models one physical chip: its policy, buffer, and drift bookkeeping
+	// mutate on every run, so each chip must be driven by one goroutine at
+	// a time (the serving layer serialises batches per chip). Concurrent
+	// use is a programming error surfaced eagerly rather than as silent
+	// state corruption.
+	running atomic.Bool
 }
 
 // NewController creates an Odin controller. The policy is adapted in place
@@ -146,7 +155,12 @@ func (c *Controller) Age(t float64) float64 {
 }
 
 // RunInference executes Algorithm 1's per-run body at simulation time t.
+// A Controller is single-chip state: calls must not overlap (see running).
 func (c *Controller) RunInference(t float64) RunReport {
+	if !c.running.CompareAndSwap(false, true) {
+		panic("core: concurrent RunInference on one Controller; a chip must be driven by one goroutine at a time")
+	}
+	defer c.running.Store(false)
 	age := c.Age(t)
 	rep := RunReport{Time: t, Age: age, Sizes: make([]ou.Size, c.wl.Layers())}
 	grid := c.sys.Grid()

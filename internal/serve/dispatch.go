@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"math"
+)
+
+// dispatch is the single goroutine that owns all routing, admission,
+// batching, and completion bookkeeping. Serialising these decisions is what
+// makes replay deterministic; the heavy work (the controller's decision
+// pass) still runs concurrently on the worker pool.
+func (s *Server) dispatch() {
+	defer s.dispatcher.Done()
+	for {
+		select {
+		case req := <-s.events:
+			s.process(req)
+		case c := <-s.wake:
+			// Live mode only (workers never signal otherwise): a batch
+			// finished, so retire it and keep the chip busy with whatever is
+			// queued, without waiting for the next arrival.
+			s.onWake(c)
+		case ack := <-s.drainc:
+			// Every Submit completed before Close flipped draining, so the
+			// remaining admitted traffic is all buffered in events.
+			for {
+				select {
+				case req := <-s.events:
+					s.process(req)
+					continue
+				default:
+				}
+				break
+			}
+			s.flush()
+			close(ack)
+			return
+		}
+	}
+}
+
+// onWake handles a Live-mode completion signal. Advancing to +Inf retires
+// the finished batch and dispatches the next one unconditionally — the
+// formation rule (start at max(freeAt, first arrival), coalesce the prefix
+// with arrival <= start) is unchanged; only the *when* is eager. Real time
+// may lag the chip's virtual finish under overload, so gating on a clock
+// read here could strand queued requests until the next arrival.
+func (s *Server) onWake(c *chip) {
+	s.advance(c, math.Inf(1), false)
+	s.met.chipDepth.With(c.label).Set(float64(len(c.pending)))
+}
+
+// process handles one arrival: route, admission-control, enqueue (or shed),
+// and kick the target chip's virtual-time machinery.
+func (s *Server) process(req *Request) {
+	req.ID = s.seq
+	s.seq++
+	// Live-mode submitters stamp arrivals concurrently; clamp them monotone
+	// so per-chip virtual time never runs backwards. Replay's single
+	// submitter is already monotone and is never clamped.
+	if req.Arrival < s.lastT {
+		req.Arrival = s.lastT
+	}
+	s.lastT = req.Arrival
+	s.met.requests.Inc()
+
+	hosts := s.byModel[req.Model]
+	if len(hosts) == 0 {
+		s.met.errors.Inc()
+		req.respond(Response{ID: req.ID, Chip: -1, Err: "odinserve: unknown model " + req.Model})
+		return
+	}
+	// Round-robin over the chips hosting this model, advanced per arrival —
+	// a deterministic function of the arrival sequence.
+	cur := s.rr[req.Model]
+	s.rr[req.Model] = cur + 1
+	c := hosts[cur%len(hosts)]
+
+	t := req.Arrival
+	// Observe any completions that are already available; this keeps queue
+	// occupancy tight without stalling the accept path.
+	s.advance(c, t, false)
+	if len(c.pending) >= s.cfg.QueueDepth {
+		// The queue looks full, but deferred completions may have virtually
+		// freed it. Admission must be exact: synchronously advance to t.
+		s.advance(c, t, true)
+	}
+	if len(c.pending) >= s.cfg.QueueDepth {
+		s.met.shed.Inc()
+		req.respond(Response{ID: req.ID, Chip: c.id, Shed: true})
+		return
+	}
+	s.met.admitted.Inc()
+	s.met.queueDepth.Observe(float64(len(c.pending)))
+	c.pending = append(c.pending, req)
+	// If the chip is known-idle this dispatches immediately; otherwise the
+	// request waits for the in-flight batch's virtual completion.
+	s.advance(c, t, false)
+	s.met.chipDepth.With(c.label).Set(float64(len(c.pending)))
+}
+
+// advance moves chip c's virtual time forward to t: it observes worker
+// results (blocking for the in-flight one when block is set), retires
+// batches whose virtual finish has passed, and forms/dispatches successor
+// batches. Batch composition depends only on virtual time (arrival
+// timestamps and deterministic service times), never on when results
+// happened to be observed — see the package comment's determinism argument.
+func (s *Server) advance(c *chip, t float64, block bool) {
+	for {
+		if b := c.inflight; b != nil {
+			if !b.done {
+				if block {
+					s.finishBatch(<-c.results)
+				} else {
+					select {
+					case bb := <-c.results:
+						s.finishBatch(bb)
+					default:
+						return
+					}
+				}
+			}
+			if b.finish > t {
+				return
+			}
+			c.freeAt = b.finish
+			c.inflight = nil
+			continue
+		}
+		if len(c.pending) == 0 {
+			return
+		}
+		// Chip idle: the next batch starts when work and chip first
+		// coincide, and coalesces the waiting prefix present at that
+		// virtual instant.
+		start := c.freeAt
+		if first := c.pending[0].Arrival; first > start {
+			start = first
+		}
+		if start > t {
+			return
+		}
+		n := 0
+		for n < len(c.pending) && n < s.cfg.MaxBatch && c.pending[n].Arrival <= start {
+			n++
+		}
+		s.startBatch(c, start, n)
+	}
+}
+
+// startBatch forms a batch from the first n pending requests and hands it
+// to the worker pool. The jobs channel holds one slot per chip, so the send
+// never blocks.
+func (s *Server) startBatch(c *chip, start float64, n int) {
+	reqs := make([]*Request, n)
+	copy(reqs, c.pending[:n])
+	copy(c.pending, c.pending[n:])
+	c.pending = c.pending[:len(c.pending)-n]
+
+	b := &batch{chip: c, id: c.batches, start: start, reqs: reqs}
+	c.batches++
+	c.inflight = b
+	s.met.batches.Inc()
+	s.met.batchSize.Observe(float64(n))
+	s.met.chipBatches.With(c.label).Inc()
+	s.jobs <- b
+}
+
+// finishBatch ingests a worker result: computes the batch's virtual finish,
+// responds to every rider, and books the chip's deterministic accumulators
+// and telemetry. Requests in a batch execute back-to-back, so rider i waits
+// an extra i service times.
+func (s *Server) finishBatch(b *batch) {
+	c := b.chip
+	rep := b.rep
+	b.finish = b.start + rep.BatchLatency()
+	b.done = true
+	for i, r := range b.reqs {
+		wait := b.start + float64(i)*rep.Latency - r.Arrival
+		r.respond(Response{
+			ID:           r.ID,
+			Chip:         c.id,
+			Batch:        b.id,
+			Sizes:        rep.Sizes,
+			Energy:       rep.Energy,
+			Latency:      rep.Latency,
+			Wait:         wait,
+			Accuracy:     rep.Accuracy,
+			Reprogrammed: rep.Reprogrammed,
+		})
+		s.met.completed.Inc()
+		s.met.queueWait.Observe(wait)
+	}
+	c.served += uint64(len(b.reqs))
+	c.energySum += rep.BatchEnergy()
+	c.latencySum += rep.BatchLatency()
+	s.met.chipEnergy.With(c.label).Set(c.energySum)
+	if rep.PolicyUpdated {
+		s.met.chipUpdates.With(c.label).Inc()
+	}
+	if rep.Reprogrammed {
+		s.met.chipReprogram.With(c.label).Add(uint64(rep.ReprogramPasses))
+		if s.cfg.ReprogramBudget > 0 && !c.degraded && c.ctrl.Reprograms() >= s.cfg.ReprogramBudget {
+			c.degraded = true
+			s.met.chipDegraded.With(c.label).Set(1)
+		}
+	}
+}
+
+// flush drains the whole fleet: every admitted request is executed and
+// answered. Chips flush in id order so post-drain accumulations are
+// reproducible.
+func (s *Server) flush() {
+	for _, c := range s.chips {
+		s.advance(c, math.Inf(1), true)
+		s.met.chipDepth.With(c.label).Set(0)
+	}
+}

@@ -1,0 +1,436 @@
+// Package serve is the concurrent inference-serving layer over a simulated
+// fleet of ReRAM chips. Each chip owns one prepared workload, one Odin
+// controller (policy, training buffer, drift bookkeeping), and one
+// reprogram budget; requests are routed to chips round-robin per model,
+// admitted through bounded per-chip queues (shed with a 429-style rejection
+// when the queue is full), coalesced into per-chip batches, and executed on
+// a fixed worker pool. Shutdown drains: every admitted request receives its
+// response exactly once.
+//
+// # Determinism
+//
+// All time flows through internal/clock. Replayed against a Virtual clock
+// (see Trace and Replay in trace.go), the layer is deterministic at the
+// request level: the same trace and seed produce byte-identical per-request
+// OU decisions, reprogram events, and energy/latency figures, independent
+// of worker count and goroutine scheduling. This holds because
+//
+//   - routing is round-robin over config order, decided in arrival order
+//     by the single dispatcher goroutine;
+//   - batch composition is a pure function of virtual time: when a chip
+//     goes idle at time f with requests waiting, the next batch starts at
+//     s = max(f, first waiting arrival) and contains the longest waiting
+//     prefix with arrival <= s (capped at MaxBatch) — regardless of when
+//     the dispatcher happens to observe the worker's result;
+//   - a chip executes one batch at a time, so its controller state evolves
+//     in a fixed order;
+//   - admission decisions that need exact virtual queue occupancy (the
+//     queue looks full) synchronously wait for the in-flight result; all
+//     other completions are observed opportunistically.
+//
+// Telemetry counters and per-request figures are deterministic under
+// replay; queue-depth *samples* are scheduling-dependent (they reflect how
+// eagerly completions were observed) and are observability-only.
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"odin/internal/clock"
+	"odin/internal/core"
+	"odin/internal/dnn"
+	"odin/internal/ou"
+	"odin/internal/policy"
+	"odin/internal/telemetry"
+)
+
+// Response is the outcome of one request. Exactly one Response is
+// delivered per submitted request, on the channel Submit returns.
+type Response struct {
+	ID    uint64 // request sequence number (arrival order)
+	Chip  int    // serving chip id (-1 when shed or errored)
+	Batch uint64 // per-chip batch index the request rode in
+
+	Shed bool   // true when rejected by admission control (429-style)
+	Err  string // non-empty for routing errors (unknown model, draining)
+
+	Sizes        []ou.Size // per-layer OU decisions of the batch's run
+	Energy       float64   // per-request inference energy (J)
+	Latency      float64   // per-request service latency (s)
+	Wait         float64   // virtual queue wait before execution (s)
+	Accuracy     float64   // estimated accuracy of the run
+	Reprogrammed bool      // the batch triggered a reprogramming pass
+}
+
+// Request is one inference submission flowing through the dispatcher.
+type Request struct {
+	ID      uint64
+	Model   string
+	Arrival float64 // seconds on the server clock, stamped at Submit
+	done    chan Response
+}
+
+// respond delivers the request's single response (channel has capacity 1).
+func (r *Request) respond(resp Response) { r.done <- resp }
+
+// ChipConfig describes one chip of the fleet.
+type ChipConfig struct {
+	// Model names the zoo workload the chip is programmed with.
+	Model string
+	// Custom overrides the zoo lookup with an explicit model (tests and
+	// design studies). When set, Model defaults to Custom.Name.
+	Custom *dnn.Model
+	// Seed initialises the chip's policy (and, unless the controller
+	// options pin one, its training stream). 0 derives a per-chip default.
+	Seed uint64
+}
+
+// Config parameterises a Server.
+type Config struct {
+	// Chips is the fleet; at least one. Several chips may host the same
+	// model — requests for that model rotate across them.
+	Chips []ChipConfig
+	// QueueDepth bounds each chip's wait queue (default 16).
+	QueueDepth int
+	// MaxBatch caps how many queued requests coalesce into one decision
+	// pass (default 8).
+	MaxBatch int
+	// Workers sizes the execution pool (default: one per chip).
+	Workers int
+	// ReprogramBudget is the per-chip reprogramming allowance; once a
+	// chip's controller exceeds it the chip is marked degraded in
+	// telemetry. 0 means unlimited.
+	ReprogramBudget int
+	// Clock is the time source (required). Live binaries inject
+	// clock.NewReal(); tests and replay inject a clock.Virtual.
+	Clock clock.Clock
+	// Live enables completion-driven dispatch: workers wake the dispatcher
+	// when a batch finishes, so queued requests are answered without waiting
+	// for the next arrival or for drain. Required for interactive serving
+	// (cmd/odinserve serve); must stay false for deterministic replay, where
+	// the wake signal's real-time interleaving with arrivals would make
+	// batch composition scheduling-dependent.
+	Live bool
+	// Registry receives serve-path metrics; nil creates a private one.
+	Registry *telemetry.Registry
+	// System is the simulated platform; nil uses core.DefaultSystem.
+	System *core.System
+	// Controller tunes each chip's online-learning loop.
+	Controller core.ControllerOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = len(c.Chips)
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// chip is dispatcher-owned fleet state. Only the dispatcher goroutine
+// touches it, except ctrl during an in-flight batch (handed to a worker and
+// back through the results channel, which provides the happens-before
+// edges).
+type chip struct {
+	id    int
+	label string // id as string, for metric labels
+	model string
+	ctrl  *core.Controller
+
+	pending  []*Request // admitted, waiting; FIFO in arrival order
+	inflight *batch     // at most one dispatched batch
+	freeAt   float64    // virtual time the chip last went idle
+	results  chan *batch
+	batches  uint64 // per-chip batch counter (deterministic batch ids)
+
+	// Deterministic per-chip accumulations (updated in batch order).
+	energySum  float64
+	latencySum float64
+	served     uint64
+	degraded   bool
+}
+
+// batch is one coalesced decision pass. Written by the dispatcher, handed
+// to a worker (which fills rep), handed back.
+type batch struct {
+	chip  *chip
+	id    uint64
+	start float64 // virtual execution start
+	reqs  []*Request
+
+	rep    core.BatchReport
+	done   bool    // dispatcher observed the result
+	finish float64 // start + rep.BatchLatency(), valid once done
+}
+
+// metrics bundles the serve-path instrumentation.
+type metrics struct {
+	requests  *telemetry.Counter
+	admitted  *telemetry.Counter
+	shed      *telemetry.Counter
+	errors    *telemetry.Counter
+	completed *telemetry.Counter
+	batches   *telemetry.Counter
+
+	batchSize  *telemetry.Histogram
+	queueWait  *telemetry.Histogram
+	queueDepth *telemetry.Histogram
+
+	chipDepth     *telemetry.GaugeVec
+	chipReprogram *telemetry.CounterVec
+	chipUpdates   *telemetry.CounterVec
+	chipBatches   *telemetry.CounterVec
+	chipEnergy    *telemetry.GaugeVec
+	chipDegraded  *telemetry.GaugeVec
+}
+
+func newMetrics(r *telemetry.Registry) metrics {
+	return metrics{
+		requests:  r.Counter("odinserve_requests_total", "requests submitted"),
+		admitted:  r.Counter("odinserve_admitted_total", "requests admitted past admission control"),
+		shed:      r.Counter("odinserve_shed_total", "requests shed by admission control (429)"),
+		errors:    r.Counter("odinserve_errors_total", "requests rejected for routing errors"),
+		completed: r.Counter("odinserve_completed_total", "requests served to completion"),
+		batches:   r.Counter("odinserve_batches_total", "decision-pass batches dispatched"),
+
+		batchSize: r.Histogram("odinserve_batch_size",
+			"coalesced requests per batch", []float64{1, 2, 4, 8, 16, 32}),
+		queueWait: r.Histogram("odinserve_queue_wait_seconds",
+			"virtual queue wait per request", []float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10}),
+		queueDepth: r.Histogram("odinserve_queue_depth",
+			"chip queue depth sampled at admission", []float64{0, 1, 2, 4, 8, 16, 32, 64}),
+
+		chipDepth:     r.GaugeVec("odinserve_chip_queue_depth", "current queue depth per chip", "chip"),
+		chipReprogram: r.CounterVec("odinserve_chip_reprograms_total", "reprogramming passes per chip", "chip"),
+		chipUpdates:   r.CounterVec("odinserve_chip_policy_updates_total", "online policy updates per chip", "chip"),
+		chipBatches:   r.CounterVec("odinserve_chip_batches_total", "batches executed per chip", "chip"),
+		chipEnergy:    r.GaugeVec("odinserve_chip_energy_joules", "cumulative served energy per chip", "chip"),
+		chipDegraded:  r.GaugeVec("odinserve_chip_degraded", "1 when the chip exhausted its reprogram budget", "chip"),
+	}
+}
+
+// Server shards a fleet of simulated ReRAM chips behind bounded queues and
+// a fixed worker pool. Create with NewServer, start with Start, submit with
+// Submit, stop with Close.
+type Server struct {
+	cfg Config
+	clk clock.Clock
+	met metrics
+
+	chips   []*chip
+	byModel map[string][]*chip
+	rr      map[string]int // round-robin cursor per model (dispatcher-owned)
+
+	events chan *Request
+	jobs   chan *batch
+	wake   chan *chip // Live mode: completion signals (≤1 outstanding per chip)
+	drainc chan chan struct{}
+
+	mu       sync.RWMutex // guards draining against concurrent Submits
+	draining bool
+	started  bool
+	closed   bool
+
+	seq   uint64  // next request id (dispatcher-owned)
+	lastT float64 // monotone arrival clamp (dispatcher-owned)
+
+	workers    sync.WaitGroup
+	dispatcher sync.WaitGroup
+}
+
+// NewServer builds the fleet: each chip prepares its own workload instance
+// and a fresh policy. Chips never share mutable state.
+func NewServer(cfg Config) (*Server, error) {
+	if len(cfg.Chips) == 0 {
+		return nil, fmt.Errorf("serve: config needs at least one chip")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("serve: config needs a clock (clock.NewReal for live, clock.NewVirtual for replay)")
+	}
+	cfg = cfg.withDefaults()
+	var sys core.System
+	if cfg.System != nil {
+		sys = *cfg.System
+	} else {
+		sys = core.DefaultSystem()
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		met:     newMetrics(cfg.Registry),
+		byModel: make(map[string][]*chip),
+		rr:      make(map[string]int),
+		events:  make(chan *Request, 64+len(cfg.Chips)*cfg.QueueDepth),
+		jobs:    make(chan *batch, len(cfg.Chips)),
+		wake:    make(chan *chip, len(cfg.Chips)),
+		drainc:  make(chan chan struct{}),
+	}
+	for i, cc := range cfg.Chips {
+		model := cc.Custom
+		name := cc.Model
+		if model == nil {
+			if name == "" {
+				return nil, fmt.Errorf("serve: chip %d names no model", i)
+			}
+			m, err := dnn.ByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("serve: chip %d: %w", i, err)
+			}
+			model = m
+		} else if name == "" {
+			name = model.Name
+		}
+		wl, err := sys.Prepare(model)
+		if err != nil {
+			return nil, fmt.Errorf("serve: chip %d (%s): %w", i, name, err)
+		}
+		seed := cc.Seed
+		if seed == 0 {
+			seed = uint64(i) + 1
+		}
+		opts := cfg.Controller
+		if opts.TrainSeed == 0 {
+			opts.TrainSeed = seed
+		}
+		pol := policy.New(policy.Config{Grid: sys.Grid(), Seed: seed})
+		ctrl, err := core.NewController(sys, wl, pol, opts)
+		if err != nil {
+			return nil, fmt.Errorf("serve: chip %d (%s): %w", i, name, err)
+		}
+		c := &chip{
+			id:      i,
+			label:   strconv.Itoa(i),
+			model:   name,
+			ctrl:    ctrl,
+			results: make(chan *batch, 1),
+		}
+		s.chips = append(s.chips, c)
+		s.byModel[name] = append(s.byModel[name], c)
+	}
+	return s, nil
+}
+
+// Start launches the dispatcher and the worker pool.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("serve: Server started twice")
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	s.dispatcher.Add(1)
+	go s.dispatch()
+}
+
+// Submit stamps an arrival from the server clock and enqueues the request.
+// The returned channel delivers exactly one Response (buffered: the caller
+// may drop it without leaking). After Close, submissions are rejected
+// immediately with a draining error.
+func (s *Server) Submit(model string) <-chan Response {
+	done := make(chan Response, 1)
+	req := &Request{Model: model, Arrival: s.clk.Now(), done: done}
+	s.mu.RLock()
+	if !s.started || s.draining {
+		s.mu.RUnlock()
+		s.met.requests.Inc()
+		s.met.errors.Inc()
+		req.respond(Response{Chip: -1, Err: "odinserve: server is draining"})
+		return done
+	}
+	s.events <- req
+	s.mu.RUnlock()
+	return done
+}
+
+// Close stops admissions, drains every admitted request to completion, and
+// stops the worker pool. Safe to call once; later calls are no-ops.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.started || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.closed = true
+	s.mu.Unlock()
+
+	ack := make(chan struct{})
+	s.drainc <- ack
+	<-ack
+	s.dispatcher.Wait()
+	close(s.jobs)
+	s.workers.Wait()
+}
+
+// worker executes batches: one Algorithm 1 decision pass per batch on the
+// owning chip's controller. Per-chip mutual exclusion is structural — a
+// chip has at most one batch in flight.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for b := range s.jobs {
+		b.rep = b.chip.ctrl.RunBatch(b.start, len(b.reqs))
+		b.chip.results <- b
+		if s.cfg.Live {
+			// A chip has at most one batch in flight, so at most one wake per
+			// chip is ever outstanding and this send never blocks.
+			s.wake <- b.chip
+		}
+	}
+}
+
+// ChipStat is a post-drain snapshot of one chip.
+type ChipStat struct {
+	ID            int
+	Model         string
+	Served        uint64
+	Batches       uint64
+	Reprograms    int
+	PolicyUpdates int
+	Energy        float64 // cumulative served energy (J)
+	Latency       float64 // cumulative chip-busy time (s)
+	Degraded      bool
+}
+
+// Stats snapshots the fleet. Only safe after Close has returned (chip state
+// is dispatcher-owned while running).
+func (s *Server) Stats() []ChipStat {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if !closed {
+		panic("serve: Stats before Close; chip state is dispatcher-owned while serving")
+	}
+	out := make([]ChipStat, len(s.chips))
+	for i, c := range s.chips {
+		out[i] = ChipStat{
+			ID:            c.id,
+			Model:         c.model,
+			Served:        c.served,
+			Batches:       c.batches,
+			Reprograms:    c.ctrl.Reprograms(),
+			PolicyUpdates: c.ctrl.PolicyUpdates(),
+			Energy:        c.energySum,
+			Latency:       c.latencySum,
+			Degraded:      c.degraded,
+		}
+	}
+	return out
+}
+
+// Registry returns the metrics registry serving this fleet.
+func (s *Server) Registry() *telemetry.Registry { return s.cfg.Registry }

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"odin/internal/clock"
+	"odin/internal/rng"
+)
+
+// Arrival is one entry of a synthetic load trace.
+type Arrival struct {
+	Time  float64 // seconds since trace start
+	Model string
+}
+
+// Trace is an arrival sequence in nondecreasing time order.
+type Trace []Arrival
+
+// TraceConfig parameterises the deterministic load generator.
+type TraceConfig struct {
+	// Seed labels the rng stream; the same config always yields the same
+	// trace.
+	Seed uint64
+	// Rate is the mean arrival rate in requests per second (Poisson
+	// process: exponential interarrival gaps).
+	Rate float64
+	// Requests is the trace length.
+	Requests int
+	// Models is the request mix, drawn uniformly per arrival.
+	Models []string
+	// Start offsets the first arrival (default 0).
+	Start float64
+}
+
+// GenTrace draws a Poisson arrival trace from internal/rng. Same config,
+// same trace — bit for bit.
+func GenTrace(cfg TraceConfig) (Trace, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("serve: trace rate %g must be positive", cfg.Rate)
+	}
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("serve: trace needs a positive request count")
+	}
+	if len(cfg.Models) == 0 {
+		return nil, fmt.Errorf("serve: trace needs at least one model")
+	}
+	src := rng.New(cfg.Seed)
+	tr := make(Trace, 0, cfg.Requests)
+	t := cfg.Start
+	for i := 0; i < cfg.Requests; i++ {
+		// Exponential gap; Float64 is in [0,1) so the argument is in (0,1].
+		t += -math.Log(1-src.Float64()) / cfg.Rate
+		model := cfg.Models[src.Intn(len(cfg.Models))]
+		tr = append(tr, Arrival{Time: t, Model: model})
+	}
+	return tr, nil
+}
+
+// ReplayResult aggregates one deterministic replay. All float totals are
+// accumulated in request-id order, so two replays of the same trace agree
+// bit for bit.
+type ReplayResult struct {
+	Responses []Response // indexed by request id (= trace order)
+
+	Admitted  int
+	Shed      int
+	Errors    int
+	Reprogram int // requests whose batch triggered a reprogramming pass
+
+	Energy  float64 // Σ per-request inference energy (J)
+	Latency float64 // Σ per-request service latency (s)
+	Wait    float64 // Σ per-request queue wait (s)
+
+	// Checksum fingerprints the decision log (FNV-1a over the exact bytes
+	// WriteLog emits) — the replay-stability handle `make loadsmoke` checks.
+	Checksum uint64
+}
+
+// Replay drives a trace through the server on its virtual clock and
+// collects every response. The server must have been built with clk as its
+// Clock and already started; Replay closes it when the trace is exhausted.
+func Replay(s *Server, clk *clock.Virtual, tr Trace) ReplayResult {
+	chans := make([]<-chan Response, len(tr))
+	for i, a := range tr {
+		clk.Set(a.Time)
+		chans[i] = s.Submit(a.Model)
+	}
+	s.Close()
+
+	res := ReplayResult{Responses: make([]Response, len(tr))}
+	for i := range chans {
+		r := <-chans[i]
+		res.Responses[i] = r
+		switch {
+		case r.Err != "":
+			res.Errors++
+		case r.Shed:
+			res.Shed++
+		default:
+			res.Admitted++
+			res.Energy += r.Energy
+			res.Latency += r.Latency
+			res.Wait += r.Wait
+			if r.Reprogrammed {
+				res.Reprogram++
+			}
+		}
+	}
+	h := fnv.New64a()
+	_ = res.WriteLog(h) // hash.Hash.Write never fails, so WriteLog cannot
+	res.Checksum = h.Sum64()
+	return res
+}
+
+// WriteLog renders the per-request OU decision log: one line per request in
+// request-id order, byte-identical across replays of the same trace/seed.
+func (r ReplayResult) WriteLog(w io.Writer) error {
+	for i := range r.Responses {
+		if err := writeLogLine(w, &r.Responses[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeLogLine(w io.Writer, resp *Response) error {
+	var sb strings.Builder
+	sb.WriteString("req=")
+	sb.WriteString(strconv.FormatUint(resp.ID, 10))
+	switch {
+	case resp.Err != "":
+		sb.WriteString(" err=")
+		sb.WriteString(strconv.Quote(resp.Err))
+	case resp.Shed:
+		sb.WriteString(" chip=")
+		sb.WriteString(strconv.Itoa(resp.Chip))
+		sb.WriteString(" shed=true")
+	default:
+		sb.WriteString(" chip=")
+		sb.WriteString(strconv.Itoa(resp.Chip))
+		sb.WriteString(" batch=")
+		sb.WriteString(strconv.FormatUint(resp.Batch, 10))
+		sb.WriteString(" ou=")
+		for j, sz := range resp.Sizes {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(sz.R))
+			sb.WriteByte('x')
+			sb.WriteString(strconv.Itoa(sz.C))
+		}
+		sb.WriteString(" E=")
+		sb.WriteString(strconv.FormatFloat(resp.Energy, 'g', -1, 64))
+		sb.WriteString(" L=")
+		sb.WriteString(strconv.FormatFloat(resp.Latency, 'g', -1, 64))
+		sb.WriteString(" wait=")
+		sb.WriteString(strconv.FormatFloat(resp.Wait, 'g', -1, 64))
+		if resp.Reprogrammed {
+			sb.WriteString(" reprogram=true")
+		}
+	}
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,386 @@
+// Package telemetry is a small, stdlib-only metrics subsystem for the
+// serving layer: atomic counters, gauges, and fixed-bucket histograms held
+// in a Registry that renders the Prometheus text exposition format
+// (text/plain; version=0.0.4).
+//
+// Design constraints, in order:
+//
+//   - lock-free on the hot path: every update (Inc, Add, Set, Observe) is
+//     one or two atomic operations, safe under the race detector, so the
+//     serve dispatcher and HTTP scrapes never contend on a mutex;
+//   - deterministic exposition: WritePrometheus renders metrics sorted by
+//     name and label value, so two identical runs produce byte-identical
+//     scrapes (the replay tests rely on this);
+//   - single-label vectors only: the serving layer's per-chip metrics need
+//     exactly one label ("chip"); a full label-set model would be dead
+//     weight.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64 metric (stored as IEEE-754 bits in an atomic
+// word).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Bucket bounds are
+// upper-inclusive (Prometheus `le` semantics) with an implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	n      atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound is >= v; beyond the last bound the
+	// sample lands in the implicit +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// kind discriminates registered metric families.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterVec
+	kindGaugeVec
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter, kindCounterVec:
+		return "counter"
+	case kindGauge, kindGaugeVec:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one registered metric name: a scalar metric or a single-label
+// vector of children.
+type family struct {
+	name string
+	help string
+	kind kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+
+	label string
+	mu    sync.Mutex
+	kidsC map[string]*Counter
+	kidsG map[string]*Gauge
+}
+
+// CounterVec is a family of counters distinguished by one label value.
+type CounterVec struct{ f *family }
+
+// With returns (creating on first use) the child counter for the label
+// value.
+func (v *CounterVec) With(value string) *Counter {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	c := v.f.kidsC[value]
+	if c == nil {
+		c = &Counter{}
+		v.f.kidsC[value] = c
+	}
+	return c
+}
+
+// GaugeVec is a family of gauges distinguished by one label value.
+type GaugeVec struct{ f *family }
+
+// With returns (creating on first use) the child gauge for the label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	g := v.f.kidsG[value]
+	if g == nil {
+		g = &Gauge{}
+		v.f.kidsG[value] = g
+	}
+	return g
+}
+
+// Registry holds named metric families. Metric registration is idempotent
+// per (name, kind): registering an existing name with the same kind returns
+// the existing metric, a kind mismatch panics (a programming error).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register installs (or retrieves) a family, enforcing name validity and
+// kind consistency.
+func (r *Registry) register(name, help string, k kind) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, k, f.kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: k}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or retrieves) a scalar counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter)
+	if f.counter == nil {
+		f.counter = &Counter{}
+	}
+	return f.counter
+}
+
+// Gauge registers (or retrieves) a scalar gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge)
+	if f.gauge == nil {
+		f.gauge = &Gauge{}
+	}
+	return f.gauge
+}
+
+// Histogram registers (or retrieves) a histogram with the given ascending
+// upper bucket bounds (+Inf is implicit and must not be listed).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not strictly ascending", name))
+		}
+	}
+	if len(bounds) > 0 && math.IsInf(bounds[len(bounds)-1], 1) {
+		panic(fmt.Sprintf("telemetry: histogram %q lists +Inf; it is implicit", name))
+	}
+	f := r.register(name, help, kindHistogram)
+	if f.hist == nil {
+		f.hist = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+	}
+	return f.hist
+}
+
+// CounterVec registers (or retrieves) a single-label counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if !validName(label) {
+		panic(fmt.Sprintf("telemetry: invalid label name %q", label))
+	}
+	f := r.register(name, help, kindCounterVec)
+	f.mu.Lock()
+	if f.kidsC == nil {
+		f.label = label
+		f.kidsC = make(map[string]*Counter)
+	}
+	f.mu.Unlock()
+	return &CounterVec{f: f}
+}
+
+// GaugeVec registers (or retrieves) a single-label gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if !validName(label) {
+		panic(fmt.Sprintf("telemetry: invalid label name %q", label))
+	}
+	f := r.register(name, help, kindGaugeVec)
+	f.mu.Lock()
+	if f.kidsG == nil {
+		f.label = label
+		f.kidsG = make(map[string]*Gauge)
+	}
+	f.mu.Unlock()
+	return &GaugeVec{f: f}
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format, sorted by metric name then label value, so the output
+// is deterministic for a given metric state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", f.name, f.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.gauge.Value()))
+		return err
+	case kindHistogram:
+		return f.writeHistogram(w)
+	case kindCounterVec:
+		f.mu.Lock()
+		values := sortedKeysC(f.kidsC)
+		kids := make([]*Counter, len(values))
+		for i, v := range values {
+			kids[i] = f.kidsC[v]
+		}
+		f.mu.Unlock()
+		for i, v := range values {
+			if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", f.name, f.label, v, kids[i].Value()); err != nil {
+				return err
+			}
+		}
+	case kindGaugeVec:
+		f.mu.Lock()
+		values := sortedKeysG(f.kidsG)
+		kids := make([]*Gauge, len(values))
+		for i, v := range values {
+			kids[i] = f.kidsG[v]
+		}
+		f.mu.Unlock()
+		for i, v := range values {
+			if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", f.name, f.label, v, formatFloat(kids[i].Value())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (f *family) writeHistogram(w io.Writer) error {
+	h := f.hist
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", f.name, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", f.name, h.Count())
+	return err
+}
+
+func sortedKeysC(m map[string]*Counter) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysG(m map[string]*Gauge) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// formatFloat renders a float in the shortest round-trippable decimal form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// validName checks the Prometheus metric/label name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

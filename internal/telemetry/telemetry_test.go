@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3.5)
+	if got := g.Value(); math.Abs(got-3.5) > 0 {
+		t.Fatalf("gauge = %g, want 3.5", got)
+	}
+	// Re-registration returns the same metric.
+	if r.Counter("reqs_total", "requests") != c {
+		t.Fatal("re-registering a counter returned a new instance")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-106) > 1e-12 {
+		t.Fatalf("sum = %g, want 106", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// le="1" catches 0.5 and the boundary value 1 (upper-inclusive).
+	for _, want := range []string{
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="4"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_sum 106`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVectorsRenderSortedByLabel(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	cv := r.CounterVec("chip_reprograms_total", "per-chip reprograms", "chip")
+	cv.With("10").Add(2)
+	cv.With("2").Inc()
+	cv.With("1").Add(7)
+	gv := r.GaugeVec("chip_queue_depth", "per-chip depth", "chip")
+	gv.With("0").Set(3)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Lexicographic label order: "1" < "10" < "2".
+	i1 := strings.Index(out, `chip_reprograms_total{chip="1"} 7`)
+	i10 := strings.Index(out, `chip_reprograms_total{chip="10"} 2`)
+	i2 := strings.Index(out, `chip_reprograms_total{chip="2"} 1`)
+	if i1 < 0 || i10 < 0 || i2 < 0 || !(i1 < i10 && i10 < i2) {
+		t.Fatalf("vector children missing or unsorted:\n%s", out)
+	}
+	if !strings.Contains(out, `chip_queue_depth{chip="0"} 3`) {
+		t.Fatalf("gauge vec child missing:\n%s", out)
+	}
+}
+
+func TestExpositionIsDeterministic(t *testing.T) {
+	t.Parallel()
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("b_total", "b").Add(2)
+		r.Counter("a_total", "a").Add(1)
+		v := r.CounterVec("c_total", "c", "chip")
+		v.With("3").Inc()
+		v.With("1").Inc()
+		h := r.Histogram("h", "h", []float64{1, 10})
+		h.Observe(0.5)
+		h.Observe(5)
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("two identical registries rendered differently:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestConcurrentUpdatesRaceClean(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 2})
+	cv := r.CounterVec("v_total", "", "chip")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				g.Set(float64(j))
+				h.Observe(float64(j % 3))
+				cv.With("0").Inc()
+			}
+		}(i)
+	}
+	// Concurrent scrapes while updating.
+	for k := 0; k < 20; k++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+	if got := h.Count(); got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+}
+
+func TestRegistryPanicsOnKindMismatch(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m", "")
+	r.Gauge("m", "")
+}
+
+func TestRegistryPanicsOnBadName(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad metric name did not panic")
+		}
+	}()
+	NewRegistry().Counter("9bad name", "")
+}
