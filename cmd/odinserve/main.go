@@ -243,13 +243,15 @@ func runServe(args []string) error {
 			return
 		}
 		resp := <-s.Submit(model)
+		// Headers must be set before WriteHeader; mutations after it are
+		// silently ignored.
+		w.Header().Set("Content-Type", "application/json")
 		switch {
 		case resp.Shed:
 			w.WriteHeader(http.StatusTooManyRequests)
 		case resp.Err != "":
 			w.WriteHeader(http.StatusBadRequest)
 		}
-		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
 			// Client went away mid-write; nothing sensible left to do.
 			return

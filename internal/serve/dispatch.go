@@ -17,7 +17,10 @@ func (s *Server) dispatch() {
 		case c := <-s.wake:
 			// Live mode only (workers never signal otherwise): a batch
 			// finished, so retire it and keep the chip busy with whatever is
-			// queued, without waiting for the next arrival.
+			// queued, without waiting for the next arrival. Clear the dedup
+			// flag before advancing, so a completion landing mid-advance
+			// re-arms the hint instead of being lost.
+			c.wakePending.Store(false)
 			s.onWake(c)
 		case ack := <-s.drainc:
 			// Every Submit completed before Close flipped draining, so the

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"odin/internal/clock"
 	"odin/internal/core"
@@ -50,7 +51,7 @@ import (
 // delivered per submitted request, on the channel Submit returns.
 type Response struct {
 	ID    uint64 // request sequence number (arrival order)
-	Chip  int    // serving chip id (-1 when shed or errored)
+	Chip  int    // serving chip id (the routed chip for sheds; -1 for routing errors)
 	Batch uint64 // per-chip batch index the request rode in
 
 	Shed bool   // true when rejected by admission control (429-style)
@@ -152,6 +153,14 @@ type chip struct {
 	freeAt   float64    // virtual time the chip last went idle
 	results  chan *batch
 	batches  uint64 // per-chip batch counter (deterministic batch ids)
+
+	// wakePending dedups Live-mode completion hints: true while a wake for
+	// this chip sits in s.wake (or is about to be sent). It bounds the wake
+	// channel to one entry per chip, so the worker's send can never block —
+	// in particular not during drain, when the dispatcher has stopped
+	// reading wakes. Shared between workers and the dispatcher (the only
+	// chip field touched outside the results-channel handoff).
+	wakePending atomic.Bool
 
 	// Deterministic per-chip accumulations (updated in batch order).
 	energySum  float64
@@ -386,9 +395,15 @@ func (s *Server) worker() {
 		b.rep = b.chip.ctrl.RunBatch(b.start, len(b.reqs))
 		b.chip.results <- b
 		if s.cfg.Live {
-			// A chip has at most one batch in flight, so at most one wake per
-			// chip is ever outstanding and this send never blocks.
-			s.wake <- b.chip
+			// Wakes are hints, deduplicated per chip: batches retired through
+			// the arrival path leave their wake unconsumed, so without dedup
+			// stale wakes would fill the channel and this send would block —
+			// fatal during drain, when the dispatcher reads results directly
+			// and never drains wakes. The flag keeps at most one wake per
+			// chip in the channel, so the send never blocks.
+			if b.chip.wakePending.CompareAndSwap(false, true) {
+				s.wake <- b.chip
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"odin/internal/clock"
 	"odin/internal/core"
@@ -194,6 +195,41 @@ func TestDrainDeliversEveryAdmittedRequestExactlyOnce(t *testing.T) {
 	}
 	if served == 0 {
 		t.Fatal("drain served nothing")
+	}
+}
+
+// TestLiveDrainCompletes regression-tests Live-mode shutdown. Workers hint
+// completions on the wake channel, which the dispatcher stops reading once
+// drain begins; batches retired through the arrival path leave stale wakes
+// behind. Without per-chip wake dedup those stale wakes fill the channel, a
+// worker blocks sending its hint, and Close deadlocks with queued batches
+// at flush (most easily with one chip and one worker). Close must return
+// and every admitted request must hold its response.
+func TestLiveDrainCompletes(t *testing.T) {
+	t.Parallel()
+	for round := 0; round < 10; round++ {
+		s, _ := tinyServer(t, 1, Config{QueueDepth: 64, MaxBatch: 2, Workers: 1, Live: true})
+		var chans []<-chan Response
+		for i := 0; i < 32; i++ {
+			chans = append(chans, s.Submit("tiny"))
+		}
+		closed := make(chan struct{})
+		go func() { s.Close(); close(closed) }()
+		select {
+		case <-closed:
+		case <-time.After(30 * time.Second):
+			t.Fatal("Close deadlocked draining a Live-mode fleet")
+		}
+		for i, ch := range chans {
+			select {
+			case r := <-ch:
+				if r.Err != "" {
+					t.Fatalf("round %d request %d errored: %q", round, i, r.Err)
+				}
+			default:
+				t.Fatalf("round %d request %d has no response after drain", round, i)
+			}
+		}
 	}
 }
 

@@ -155,8 +155,9 @@ func (v *GaugeVec) With(value string) *Gauge {
 }
 
 // Registry holds named metric families. Metric registration is idempotent
-// per (name, kind): registering an existing name with the same kind returns
-// the existing metric, a kind mismatch panics (a programming error).
+// per (name, kind) — and, for vectors, per label name: registering an
+// existing name with the same kind (and label) returns the existing metric;
+// a kind or label mismatch panics (a programming error).
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
@@ -232,11 +233,13 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	}
 	f := r.register(name, help, kindCounterVec)
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.kidsC == nil {
 		f.label = label
 		f.kidsC = make(map[string]*Counter)
+	} else if f.label != label {
+		panic(fmt.Sprintf("telemetry: vector %q re-registered with label %q (was %q)", name, label, f.label))
 	}
-	f.mu.Unlock()
 	return &CounterVec{f: f}
 }
 
@@ -247,11 +250,13 @@ func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
 	}
 	f := r.register(name, help, kindGaugeVec)
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.kidsG == nil {
 		f.label = label
 		f.kidsG = make(map[string]*Gauge)
+	} else if f.label != label {
+		panic(fmt.Sprintf("telemetry: vector %q re-registered with label %q (was %q)", name, label, f.label))
 	}
-	f.mu.Unlock()
 	return &GaugeVec{f: f}
 }
 

@@ -157,6 +157,30 @@ func TestRegistryPanicsOnKindMismatch(t *testing.T) {
 	r.Gauge("m", "")
 }
 
+func TestRegistryPanicsOnVecLabelMismatch(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label mismatch did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.CounterVec("v", "", "chip")
+	r.CounterVec("v", "", "core")
+}
+
+func TestRegistryPanicsOnGaugeVecLabelMismatch(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label mismatch did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.GaugeVec("v", "", "chip")
+	r.GaugeVec("v", "", "core")
+}
+
 func TestRegistryPanicsOnBadName(t *testing.T) {
 	t.Parallel()
 	defer func() {
