@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench loadsmoke ci
+.PHONY: all build fmt vet lint test race bench check loadsmoke ci
 
 all: ci
 
@@ -40,6 +40,16 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# Correctness harness (internal/check): first the deterministic
+# property+golden suite at the fixed default seed — the replayable gate —
+# then a randomized smoke at a fresh seed so CI keeps hunting new
+# counterexamples. Any failure prints one ODINCHECK_SEED=... line that
+# replays it exactly; see README "Correctness harness".
+check:
+	$(GO) test -run 'Prop|Golden' ./...
+	ODINCHECK_SEED=$$(od -An -N8 -tu8 /dev/urandom | tr -d ' ') \
+		ODINCHECK_TRIALS=25 $(GO) test -count=1 -run 'Prop' ./...
+
 # Serving-layer gate: race-check internal/serve, then replay a deterministic
 # load trace twice at nominal rate (30% of fleet capacity) and require zero
 # sheds and byte-identical decision logs across the two replays.
@@ -47,4 +57,4 @@ loadsmoke:
 	$(GO) test -race ./internal/serve/...
 	$(GO) run ./cmd/odinserve replay -models VGG11,VGG11 -requests 200 -verify -max-shed 0
 
-ci: build fmt vet lint test race bench loadsmoke
+ci: build fmt vet lint test race bench check loadsmoke

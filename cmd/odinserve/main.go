@@ -13,16 +13,15 @@
 // logs are byte-identical — the determinism contract `make loadsmoke`
 // enforces in CI.
 //
-// serve exposes the fleet over HTTP:
+// serve exposes the fleet over HTTP via serve.NewHandler:
 //
-//	POST /infer?model=NAME   submit one request, JSON response
+//	POST /infer              JSON body {"model":NAME,"count":N} or ?model=NAME
 //	GET  /metrics            Prometheus text exposition
 //	GET  /healthz            liveness probe
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -231,46 +230,7 @@ func runServe(args []string) error {
 	}
 	s.Start()
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "odinserve: POST /infer?model=NAME", http.StatusMethodNotAllowed)
-			return
-		}
-		model := r.URL.Query().Get("model")
-		if model == "" {
-			http.Error(w, "odinserve: missing model parameter", http.StatusBadRequest)
-			return
-		}
-		resp := <-s.Submit(model)
-		// Headers must be set before WriteHeader; mutations after it are
-		// silently ignored.
-		w.Header().Set("Content-Type", "application/json")
-		switch {
-		case resp.Shed:
-			w.WriteHeader(http.StatusTooManyRequests)
-		case resp.Err != "":
-			w.WriteHeader(http.StatusBadRequest)
-		}
-		if err := json.NewEncoder(w).Encode(resp); err != nil {
-			// Client went away mid-write; nothing sensible left to do.
-			return
-		}
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		var sb strings.Builder
-		if err := s.Registry().WritePrometheus(&sb); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		fmt.Fprint(w, sb.String())
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewHandler(s)}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("odinserve: listening on %s (%d chips)\n", *addr, len(cfg.Chips))

@@ -1,0 +1,339 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPropDeterministicGeneration pins the engine's reproducibility
+// contract: the same config generates the same value sequence, and a
+// different seed a different one.
+func TestPropDeterministicGeneration(t *testing.T) {
+	t.Parallel()
+	collect := func(seed uint64) []int {
+		var vals []int
+		cfg := Config{Trials: 50, Seed: seed, MaxShrink: 1}
+		f := run(cfg, IntRange(0, 1<<30), func(v int) error {
+			vals = append(vals, v)
+			return nil
+		})
+		if f != nil {
+			t.Fatalf("recording property failed: %+v", f)
+		}
+		return vals
+	}
+	a, b := collect(7), collect(7)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("trial counts %d, %d, want 50", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d: %d vs %d under the same seed", i, a[i], b[i])
+		}
+	}
+	c := collect(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 7 and 8 generated identical sequences")
+	}
+}
+
+// TestPropSeedReplay verifies the replay contract: rebasing on a failing
+// trial's reported seed regenerates the same counterexample on trial 0.
+func TestPropSeedReplay(t *testing.T) {
+	t.Parallel()
+	// Record drawn values at the generator level (no Shrink) so the trace
+	// holds only raw generations, never shrink-candidate evaluations.
+	var drawn []int
+	recording := func(sink *[]int) Gen[int] {
+		return Gen[int]{Generate: func(tt *T) int {
+			v := IntRange(0, 1<<20).Generate(tt)
+			*sink = append(*sink, v)
+			return v
+		}}
+	}
+	prop := func(v int) error {
+		if v%7 == 3 {
+			return fmt.Errorf("hit %d", v)
+		}
+		return nil
+	}
+	f := run(Config{Trials: 1000, Seed: 1, MaxShrink: 1}, recording(&drawn), prop)
+	if f == nil {
+		t.Fatal("property unexpectedly held")
+	}
+	// Replay: base seed = reported trial seed, one trial — the exact failing
+	// value must regenerate on trial 0.
+	var replayed []int
+	rf := run(Config{Trials: 1, Seed: f.Seed, MaxShrink: 1}, recording(&replayed), prop)
+	if rf == nil || len(replayed) != 1 {
+		t.Fatalf("replay did not fail on trial 0 (failure %+v, drew %v)", rf, replayed)
+	}
+	if rf.Trial != 0 {
+		t.Fatalf("replay failed on trial %d, want 0", rf.Trial)
+	}
+	if replayed[0] != f.Value {
+		t.Fatalf("replay drew %d, want the original counterexample %d", replayed[0], f.Value)
+	}
+}
+
+// TestPropShrinkToBoundary verifies integrated shrinking reaches the
+// minimal counterexample of a threshold property.
+func TestPropShrinkToBoundary(t *testing.T) {
+	t.Parallel()
+	const threshold = 537
+	f := run(Config{Trials: 200, Seed: 3, MaxShrink: 2000}, IntRange(0, 100000), func(v int) error {
+		if v >= threshold {
+			return fmt.Errorf("%d over threshold", v)
+		}
+		return nil
+	})
+	if f == nil {
+		t.Fatal("property unexpectedly held")
+	}
+	if f.Value != threshold {
+		t.Fatalf("shrunk to %d, want the minimal counterexample %d", f.Value, threshold)
+	}
+	if f.Shrinks == 0 {
+		t.Fatal("no shrink steps recorded for a shrinkable failure")
+	}
+}
+
+// TestPropShrinkPair verifies component-wise tuple shrinking: a sum
+// threshold shrinks both coordinates to a minimal witness.
+func TestPropShrinkPair(t *testing.T) {
+	t.Parallel()
+	g := PairOf(IntRange(0, 10000), IntRange(0, 10000))
+	f := run(Config{Trials: 300, Seed: 5, MaxShrink: 4000}, g, func(p Pair[int, int]) error {
+		if p.A+p.B >= 1000 {
+			return fmt.Errorf("sum %d", p.A+p.B)
+		}
+		return nil
+	})
+	if f == nil {
+		t.Fatal("property unexpectedly held")
+	}
+	if f.Value.A+f.Value.B != 1000 {
+		t.Fatalf("shrunk to %+v (sum %d), want a boundary witness summing to 1000",
+			f.Value, f.Value.A+f.Value.B)
+	}
+}
+
+// TestPropPanicBecomesCounterexample verifies a panicking property is
+// caught, shrunk, and reported rather than crashing the test binary.
+func TestPropPanicBecomesCounterexample(t *testing.T) {
+	t.Parallel()
+	f := run(Config{Trials: 100, Seed: 2, MaxShrink: 500}, IntRange(0, 1000), func(v int) error {
+		if v >= 100 {
+			panic(fmt.Sprintf("boom at %d", v))
+		}
+		return nil
+	})
+	if f == nil {
+		t.Fatal("property unexpectedly held")
+	}
+	if f.Value != 100 {
+		t.Fatalf("shrunk panic witness %d, want 100", f.Value)
+	}
+	if !strings.Contains(f.Err.Error(), "panicked") {
+		t.Fatalf("error %q does not mark the panic", f.Err)
+	}
+}
+
+// TestPropSliceShrinkRemovesElements verifies slice shrinking drops
+// irrelevant elements: a "contains an element ≥ k" failure shrinks to a
+// single-element witness.
+func TestPropSliceShrinkRemovesElements(t *testing.T) {
+	t.Parallel()
+	g := SliceOf(IntRange(0, 10000), 0, 40)
+	f := run(Config{Trials: 300, Seed: 11, MaxShrink: 6000}, g, func(v []int) error {
+		for _, x := range v {
+			if x >= 5000 {
+				return fmt.Errorf("element %d", x)
+			}
+		}
+		return nil
+	})
+	if f == nil {
+		t.Fatal("property unexpectedly held")
+	}
+	if len(f.Value) != 1 || f.Value[0] != 5000 {
+		t.Fatalf("shrunk to %v, want the minimal witness [5000]", f.Value)
+	}
+}
+
+// TestPropGeneratorRanges exercises the stock generators' contracts.
+func TestPropGeneratorRanges(t *testing.T) {
+	t.Parallel()
+	intGen := IntRange(-3, 17)
+	floatGen := Float64Range(2.5, 9.25)
+	choiceGen := OneOf("a", "b", "c")
+	sliceGen := SliceOf(IntRange(0, 9), 2, 12)
+	boolGen := Bool()
+	seenTrue, seenFalse := false, false
+	f := run(Config{Trials: 300, Seed: 9, MaxShrink: 1},
+		Gen[int]{Generate: func(tt *T) int {
+			if v := intGen.Generate(tt); v < -3 || v > 17 {
+				t.Errorf("IntRange drew %d", v)
+			}
+			if v := floatGen.Generate(tt); v < 2.5 || v >= 9.25 {
+				t.Errorf("Float64Range drew %g", v)
+			}
+			if c := choiceGen.Generate(tt); c != "a" && c != "b" && c != "c" {
+				t.Errorf("OneOf drew %q", c)
+			}
+			if s := sliceGen.Generate(tt); len(s) < 2 || len(s) > 12 {
+				t.Errorf("SliceOf length %d", len(s))
+			}
+			if boolGen.Generate(tt) {
+				seenTrue = true
+			} else {
+				seenFalse = true
+			}
+			if tt.Size < 0 || tt.Size > MaxSize {
+				t.Errorf("trial size %d outside [0, %d]", tt.Size, MaxSize)
+			}
+			return 0
+		}},
+		func(int) error { return nil })
+	if f != nil {
+		t.Fatalf("generator sweep failed: %+v", f)
+	}
+	if !seenTrue || !seenFalse {
+		t.Error("Bool never produced both values over 300 trials")
+	}
+}
+
+// TestPropShrinkHelpers pins the shrink-candidate helpers: candidates move
+// toward the target, never repeat the input, and terminate.
+func TestPropShrinkHelpers(t *testing.T) {
+	t.Parallel()
+	for _, v := range []int{0, 1, 2, 100, -50} {
+		for _, cand := range ShrinkInt(v, 0) {
+			if cand == v {
+				t.Fatalf("ShrinkInt(%d) repeats the input", v)
+			}
+			if abs(cand) > abs(v) {
+				t.Fatalf("ShrinkInt(%d) candidate %d moves away from 0", v, cand)
+			}
+		}
+	}
+	if got := ShrinkInt(5, 5); got != nil {
+		t.Fatalf("ShrinkInt at target = %v, want nil", got)
+	}
+	for _, v := range []float64{0.5, 123.75, -2.25} {
+		for _, cand := range ShrinkFloat(v, 0) {
+			if math.Float64bits(cand) == math.Float64bits(v) {
+				t.Fatalf("ShrinkFloat(%g) repeats the input", v)
+			}
+			if math.Abs(cand) > math.Abs(v) {
+				t.Fatalf("ShrinkFloat(%g) candidate %g moves away from 0", v, cand)
+			}
+		}
+	}
+	if got := ShrinkFloat(math.NaN(), 1); len(got) != 1 || math.Abs(got[0]-1) > 0 {
+		t.Fatalf("ShrinkFloat(NaN) = %v, want [1]", got)
+	}
+}
+
+// TestPropTrialSeedDerivation pins that trial 0 uses the base seed verbatim
+// (the replay contract) and later trials decorrelate.
+func TestPropTrialSeedDerivation(t *testing.T) {
+	t.Parallel()
+	if got := trialSeed(42, 0); got != 42 {
+		t.Fatalf("trialSeed(42, 0) = %d, want 42", got)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[trialSeed(42, i)] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("only %d distinct seeds over 1000 trials", len(seen))
+	}
+}
+
+// TestPropEnvOverrides verifies the ODINCHECK_* environment handling.
+// t.Setenv forbids t.Parallel, so this test runs serial.
+func TestPropEnvOverrides(t *testing.T) {
+	t.Setenv(envSeed, "99")
+	t.Setenv(envTrials, "7")
+	cfg := Config{}.withDefaults(t)
+	if cfg.Seed != 99 || cfg.Trials != 7 {
+		t.Fatalf("env overrides gave seed=%d trials=%d, want 99/7", cfg.Seed, cfg.Trials)
+	}
+	// Explicit config wins over the environment.
+	cfg = Config{Seed: 5, Trials: 3}.withDefaults(t)
+	if cfg.Seed != 5 || cfg.Trials != 3 {
+		t.Fatalf("explicit config overridden: seed=%d trials=%d", cfg.Seed, cfg.Trials)
+	}
+}
+
+// TestPropOneOfShrinksTowardEarlier pins OneOf's shrink ordering.
+func TestPropOneOfShrinksTowardEarlier(t *testing.T) {
+	t.Parallel()
+	g := OneOf(10, 20, 30, 40)
+	got := g.Shrink(30)
+	want := []int{20, 10}
+	if len(got) != len(want) {
+		t.Fatalf("Shrink(30) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Shrink(30) = %v, want %v", got, want)
+		}
+	}
+	if got := g.Shrink(10); len(got) != 0 {
+		t.Fatalf("Shrink(first) = %v, want empty", got)
+	}
+}
+
+// TestPropShrinkBudgetTerminates guards against shrinker loops: an
+// always-failing property with an aggressive shrinker must still return
+// within the budget.
+func TestPropShrinkBudgetTerminates(t *testing.T) {
+	t.Parallel()
+	f := run(Config{Trials: 1, Seed: 1, MaxShrink: 50}, IntRange(0, 1<<30), func(v int) error {
+		return fmt.Errorf("always fails (%d)", v)
+	})
+	if f == nil {
+		t.Fatal("property unexpectedly held")
+	}
+	if f.Value != 0 {
+		// With everything failing, the greedy walk must land on the
+		// smallest candidate.
+		t.Fatalf("always-failing property shrunk to %d, want 0", f.Value)
+	}
+}
+
+// TestPropSizesCoverRange verifies the per-trial size budget actually
+// varies (collection generators rely on it for small-to-large coverage).
+func TestPropSizesCoverRange(t *testing.T) {
+	t.Parallel()
+	var sizes []int
+	f := run(Config{Trials: 200, Seed: 13, MaxShrink: 1},
+		Gen[int]{Generate: func(tt *T) int { sizes = append(sizes, tt.Size); return 0 }},
+		func(int) error { return nil })
+	if f != nil {
+		t.Fatalf("recording property failed: %+v", f)
+	}
+	sort.Ints(sizes)
+	if sizes[0] > 20 || sizes[len(sizes)-1] < MaxSize-20 {
+		t.Fatalf("size range [%d, %d] over 200 trials covers too little of [0, %d]",
+			sizes[0], sizes[len(sizes)-1], MaxSize)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,197 @@
+package check
+
+import "fmt"
+
+// Const returns a generator that always yields v and never shrinks.
+func Const[V any](v V) Gen[V] {
+	return Gen[V]{Generate: func(*T) V { return v }}
+}
+
+// Bool generates fair booleans, shrinking true toward false.
+func Bool() Gen[bool] {
+	return Gen[bool]{
+		Generate: func(t *T) bool { return t.Rng.Bernoulli(0.5) },
+		Shrink: func(v bool) []bool {
+			if v {
+				return []bool{false}
+			}
+			return nil
+		},
+	}
+}
+
+// IntRange generates uniform ints in [lo, hi], shrinking toward lo. It
+// panics when the range is empty (a generator-construction programming
+// error).
+func IntRange(lo, hi int) Gen[int] {
+	if lo > hi {
+		panic(fmt.Sprintf("check: IntRange [%d, %d] is empty", lo, hi))
+	}
+	return Gen[int]{
+		Generate: func(t *T) int { return lo + t.Rng.Intn(hi-lo+1) },
+		Shrink:   func(v int) []int { return ShrinkInt(v, lo) },
+	}
+}
+
+// Float64Range generates uniform float64s in [lo, hi), shrinking toward lo.
+// It panics when the range is empty or unordered.
+func Float64Range(lo, hi float64) Gen[float64] {
+	if !(lo < hi) {
+		panic(fmt.Sprintf("check: Float64Range [%g, %g) is empty", lo, hi))
+	}
+	return Gen[float64]{
+		Generate: func(t *T) float64 { return lo + t.Rng.Float64()*(hi-lo) },
+		Shrink:   func(v float64) []float64 { return ShrinkFloat(v, lo) },
+	}
+}
+
+// OneOf generates a uniform choice, shrinking toward earlier alternatives.
+// It panics when no choices are given.
+func OneOf[V comparable](choices ...V) Gen[V] {
+	if len(choices) == 0 {
+		panic("check: OneOf needs at least one choice")
+	}
+	return Gen[V]{
+		Generate: func(t *T) V { return choices[t.Rng.Intn(len(choices))] },
+		Shrink: func(v V) []V {
+			for i, c := range choices {
+				if c == v {
+					// Earlier choices are simpler; nearest-first keeps the
+					// shrink walk short.
+					out := make([]V, 0, i)
+					for j := i - 1; j >= 0; j-- {
+						out = append(out, choices[j])
+					}
+					return out
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// SliceOf generates slices of elem with length in [minLen, maxLen] scaled
+// by the trial size. Shrinking removes chunks and single elements first,
+// then shrinks individual elements.
+func SliceOf[V any](elem Gen[V], minLen, maxLen int) Gen[[]V] {
+	if minLen < 0 || maxLen < minLen {
+		panic(fmt.Sprintf("check: SliceOf length range [%d, %d] invalid", minLen, maxLen))
+	}
+	return Gen[[]V]{
+		Generate: func(t *T) []V {
+			// Scale the cap with the trial size so early/replayed small
+			// trials stay small; always honour minLen.
+			hi := minLen + (maxLen-minLen)*t.Size/MaxSize
+			n := minLen
+			if hi > minLen {
+				n += t.Rng.Intn(hi - minLen + 1)
+			}
+			out := make([]V, n)
+			for i := range out {
+				out[i] = elem.Generate(t)
+			}
+			return out
+		},
+		Shrink: func(v []V) [][]V {
+			var out [][]V
+			// Structural shrinks: drop the second half, the first half,
+			// then each single element (bounded for long slices).
+			if len(v) > minLen {
+				if half := len(v) / 2; half >= minLen && half < len(v) {
+					out = append(out, append([]V(nil), v[:half]...))
+					out = append(out, append([]V(nil), v[len(v)-half:]...))
+				}
+				limit := len(v)
+				if limit > 16 {
+					limit = 16
+				}
+				for i := 0; i < limit; i++ {
+					c := make([]V, 0, len(v)-1)
+					c = append(c, v[:i]...)
+					c = append(c, v[i+1:]...)
+					out = append(out, c)
+				}
+			}
+			// Element-wise shrinks (every candidate, bounded positions).
+			if elem.Shrink != nil {
+				limit := len(v)
+				if limit > 16 {
+					limit = 16
+				}
+				for i := 0; i < limit; i++ {
+					for _, ec := range elem.Shrink(v[i]) {
+						c := append([]V(nil), v...)
+						c[i] = ec
+						out = append(out, c)
+					}
+				}
+			}
+			return out
+		},
+	}
+}
+
+// Pair is a generated 2-tuple.
+type Pair[A, B any] struct {
+	A A
+	B B
+}
+
+// PairOf combines two generators, shrinking each component independently.
+func PairOf[A, B any](ga Gen[A], gb Gen[B]) Gen[Pair[A, B]] {
+	return Gen[Pair[A, B]]{
+		Generate: func(t *T) Pair[A, B] {
+			return Pair[A, B]{A: ga.Generate(t), B: gb.Generate(t)}
+		},
+		Shrink: func(v Pair[A, B]) []Pair[A, B] {
+			var out []Pair[A, B]
+			if ga.Shrink != nil {
+				for _, a := range ga.Shrink(v.A) {
+					out = append(out, Pair[A, B]{A: a, B: v.B})
+				}
+			}
+			if gb.Shrink != nil {
+				for _, b := range gb.Shrink(v.B) {
+					out = append(out, Pair[A, B]{A: v.A, B: b})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// Triple is a generated 3-tuple.
+type Triple[A, B, C any] struct {
+	A A
+	B B
+	C C
+}
+
+// TripleOf combines three generators, shrinking each component
+// independently.
+func TripleOf[A, B, C any](ga Gen[A], gb Gen[B], gc Gen[C]) Gen[Triple[A, B, C]] {
+	return Gen[Triple[A, B, C]]{
+		Generate: func(t *T) Triple[A, B, C] {
+			return Triple[A, B, C]{A: ga.Generate(t), B: gb.Generate(t), C: gc.Generate(t)}
+		},
+		Shrink: func(v Triple[A, B, C]) []Triple[A, B, C] {
+			var out []Triple[A, B, C]
+			if ga.Shrink != nil {
+				for _, a := range ga.Shrink(v.A) {
+					out = append(out, Triple[A, B, C]{A: a, B: v.B, C: v.C})
+				}
+			}
+			if gb.Shrink != nil {
+				for _, b := range gb.Shrink(v.B) {
+					out = append(out, Triple[A, B, C]{A: v.A, B: b, C: v.C})
+				}
+			}
+			if gc.Shrink != nil {
+				for _, c := range gc.Shrink(v.C) {
+					out = append(out, Triple[A, B, C]{A: v.A, B: v.B, C: c})
+				}
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,158 @@
+package check
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// updateGolden is registered once per test binary; `go test -update ./...`
+// rewrites every golden file touched by the run with the current output.
+var updateGolden = flag.Bool("update", false, "rewrite check.Golden files with current output")
+
+// Golden compares got against the golden file at path (conventionally
+// under the package's testdata/). With -update the file is (re)written
+// instead and the test passes; without it a missing file or a mismatch
+// fails the test, the latter with a line diff. Snapshots freeze artefact
+// byte streams — table/figure renderings — so hot-path refactors can prove
+// output stability.
+func Golden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	updated, err := golden(path, got, *updateGolden, rootName(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated {
+		t.Logf("check: golden %s updated (%d bytes)", path, len(got))
+	}
+}
+
+// golden is the testing-free core of Golden: it either rewrites the file
+// (update mode) or compares, returning a ready-to-print error on any
+// mismatch. testName only decorates the remediation hint.
+func golden(path string, got []byte, update bool, testName string) (updated bool, err error) {
+	if update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return false, fmt.Errorf("check: golden %s: %w", path, err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			return false, fmt.Errorf("check: golden %s: %w", path, err)
+		}
+		return true, nil
+	}
+	want, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, fmt.Errorf("check: golden file %s missing; create it with `go test -run '^%s$' -update`",
+			path, testName)
+	}
+	if err != nil {
+		return false, fmt.Errorf("check: golden %s: %w", path, err)
+	}
+	if string(want) == string(got) {
+		return false, nil
+	}
+	return false, fmt.Errorf("check: output differs from golden %s (accept with `go test -run '^%s$' -update`):\n%s",
+		path, testName, DiffLines(string(want), string(got)))
+}
+
+// DiffLines renders a line-level diff between want and got: an LCS-based
+// "-want / +got" listing with unchanged lines elided to headers. Exposed so
+// tests outside the golden harness can render readable byte-stream
+// mismatches too.
+func DiffLines(want, got string) string {
+	w := splitLines(want)
+	g := splitLines(got)
+	const lcsCap = 2000 // O(n·m) table; beyond this fall back to first divergence
+	if len(w) > lcsCap || len(g) > lcsCap {
+		return firstDivergence(w, g)
+	}
+
+	// Standard LCS table on lines.
+	lcs := make([][]int32, len(w)+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, len(g)+1)
+	}
+	for i := len(w) - 1; i >= 0; i-- {
+		for j := len(g) - 1; j >= 0; j-- {
+			if w[i] == g[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+
+	var sb strings.Builder
+	i, j, same := 0, 0, 0
+	flushSame := func() {
+		if same > 0 {
+			fmt.Fprintf(&sb, "  ... %d matching line(s)\n", same)
+			same = 0
+		}
+	}
+	for i < len(w) && j < len(g) {
+		switch {
+		case w[i] == g[j]:
+			same++
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			flushSame()
+			fmt.Fprintf(&sb, "-%s\n", w[i])
+			i++
+		default:
+			flushSame()
+			fmt.Fprintf(&sb, "+%s\n", g[j])
+			j++
+		}
+	}
+	for ; i < len(w); i++ {
+		flushSame()
+		fmt.Fprintf(&sb, "-%s\n", w[i])
+	}
+	for ; j < len(g); j++ {
+		flushSame()
+		fmt.Fprintf(&sb, "+%s\n", g[j])
+	}
+	flushSame()
+	return sb.String()
+}
+
+// firstDivergence reports the first differing line with context — the
+// large-input fallback for DiffLines.
+func firstDivergence(w, g []string) string {
+	n := len(w)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("first divergence at line %d:\n-%s\n+%s\n(want %d lines, got %d)",
+				i+1, w[i], g[i], len(w), len(g))
+		}
+	}
+	return fmt.Sprintf("outputs agree on the first %d line(s) but lengths differ (want %d lines, got %d)",
+		n, len(w), len(g))
+}
+
+// splitLines splits on '\n' without swallowing a missing trailing newline
+// (a final unterminated line still diffs).
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	lines := strings.Split(s, "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	} else {
+		lines[len(lines)-1] += `\ no newline`
+	}
+	return lines
+}

@@ -1,0 +1,100 @@
+package check
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGoldenMatchAndMismatch(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artefact.golden")
+	if err := os.WriteFile(path, []byte("row 1\nrow 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := golden(path, []byte("row 1\nrow 2\n"), false, t.Name()); err != nil {
+		t.Fatalf("identical output failed the golden comparison: %v", err)
+	}
+	_, err := golden(path, []byte("row 1\nrow 2 CHANGED\n"), false, t.Name())
+	if err == nil {
+		t.Fatal("divergent output passed the golden comparison")
+	}
+	// The mismatch message carries both the diff and the remediation hint.
+	for _, frag := range []string{"-row 2", "+row 2 CHANGED", "-update", t.Name()} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("mismatch error missing %q:\n%v", frag, err)
+		}
+	}
+	_, err = golden(filepath.Join(dir, "missing.golden"), []byte("x\n"), false, t.Name())
+	if err == nil {
+		t.Fatal("missing golden file passed the comparison")
+	}
+	if !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing-file error does not say so: %v", err)
+	}
+}
+
+func TestGoldenUpdateWritesFile(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "sub", "new.golden")
+	updated, err := golden(path, []byte("fresh content\n"), true, t.Name())
+	if err != nil {
+		t.Fatalf("update run failed: %v", err)
+	}
+	if !updated {
+		t.Fatal("update run did not report a write")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file not written: %v", err)
+	}
+	if string(data) != "fresh content\n" {
+		t.Fatalf("golden file holds %q", data)
+	}
+	// A second update pass against identical content still rewrites (the
+	// flag means "trust current output"), and a compare pass now succeeds.
+	if _, err := golden(path, []byte("fresh content\n"), false, t.Name()); err != nil {
+		t.Fatalf("freshly updated file fails comparison: %v", err)
+	}
+}
+
+func TestGoldenDiffLines(t *testing.T) {
+	t.Parallel()
+	want := "alpha\nbeta\ngamma\ndelta\n"
+	got := "alpha\nbeta CHANGED\ngamma\ndelta\nextra\n"
+	d := DiffLines(want, got)
+	for _, frag := range []string{"-beta", "+beta CHANGED", "+extra", "matching line"} {
+		if !strings.Contains(d, frag) {
+			t.Fatalf("diff missing %q:\n%s", frag, d)
+		}
+	}
+	if strings.Contains(d, "-alpha") || strings.Contains(d, "+alpha") {
+		t.Fatalf("diff reports unchanged line:\n%s", d)
+	}
+	// Missing trailing newline is visible, not swallowed.
+	d = DiffLines("x\n", "x")
+	if !strings.Contains(d, `no newline`) {
+		t.Fatalf("unterminated final line not marked:\n%s", d)
+	}
+	// Equal inputs diff to nothing but elision headers.
+	d = DiffLines("a\nb\n", "a\nb\n")
+	if strings.Contains(d, "-") || strings.Contains(d, "+a") {
+		t.Fatalf("diff of equal inputs reports changes:\n%s", d)
+	}
+}
+
+func TestGoldenDiffLargeInputFallback(t *testing.T) {
+	t.Parallel()
+	var w, g strings.Builder
+	for i := 0; i < 3000; i++ {
+		w.WriteString("line\n")
+		g.WriteString("line\n")
+	}
+	g.WriteString("tail\n")
+	d := DiffLines(w.String(), g.String())
+	if !strings.Contains(d, "lengths differ") {
+		t.Fatalf("large-input fallback not taken:\n%.200s", d)
+	}
+}

@@ -1,0 +1,91 @@
+package check
+
+import "math"
+
+// shrink greedily minimises a counterexample: as long as some Shrink
+// candidate still falsifies the property, move to the first such candidate
+// and restart from it. The budget bounds total candidate evaluations so a
+// pathological shrinker cannot hang a test.
+func shrink[V any](g Gen[V], v V, err error, prop func(V) error, budget int) (V, error, int) {
+	if g.Shrink == nil {
+		return v, err, 0
+	}
+	shrinks := 0
+	for budget > 0 {
+		improved := false
+		for _, cand := range g.Shrink(v) {
+			budget--
+			if e := callProp(prop, cand); e != nil {
+				v, err = cand, e
+				shrinks++
+				improved = true
+				break
+			}
+			if budget <= 0 {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return v, err, shrinks
+}
+
+// ShrinkInt returns simpler int candidates between toward and v: the
+// target itself, then v minus successively halved distances (v−d/2, v−d/4,
+// …, v∓1). Interleaved with the engine's greedy restart this walk behaves
+// like a binary search for the boundary, so counterexamples shrink to exact
+// thresholds in O(log d) rounds. Candidates never include v.
+func ShrinkInt(v, toward int) []int {
+	if v == toward {
+		return nil
+	}
+	var out []int
+	seen := map[int]bool{v: true}
+	add := func(c int) {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	add(toward)
+	d := v - toward
+	for d/2 != 0 {
+		d /= 2
+		add(v - d)
+	}
+	return out
+}
+
+// ShrinkFloat returns simpler float64 candidates between toward and v: the
+// target, a few halved-distance points near v, and the integral truncation
+// of v. Candidates never include v, NaN, or infinities.
+func ShrinkFloat(v, toward float64) []float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []float64{toward}
+	}
+	var out []float64
+	add := func(c float64) {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return
+		}
+		if math.Float64bits(c) == math.Float64bits(v) {
+			return
+		}
+		for _, prev := range out {
+			if math.Float64bits(prev) == math.Float64bits(c) {
+				return
+			}
+		}
+		out = append(out, c)
+	}
+	add(toward)
+	d := v - toward
+	for i := 0; i < 6; i++ {
+		d /= 2
+		add(v - d)
+	}
+	add(math.Trunc(v))
+	return out
+}

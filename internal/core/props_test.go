@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"odin/internal/check"
+	"odin/internal/dnn"
+)
+
+// batchCase is one synthetic BatchReport arithmetic scenario.
+type batchCase struct {
+	N                 int
+	Energy, Latency   float64
+	RepEnergy, RepLat float64
+	Passes            int
+}
+
+func genBatchCase() check.Gen[batchCase] {
+	return check.Gen[batchCase]{
+		Generate: func(t *check.T) batchCase {
+			bc := batchCase{
+				N:       1 + t.Rng.Intn(64),
+				Energy:  t.Rng.Float64() * 1e-3,
+				Latency: t.Rng.Float64() * 1e-3,
+			}
+			if t.Rng.Bernoulli(0.5) {
+				bc.Passes = 1 + t.Rng.Intn(3)
+				bc.RepEnergy = t.Rng.Float64() * 1e-1
+				bc.RepLat = t.Rng.Float64() * 1e-1
+			}
+			return bc
+		},
+		Shrink: func(bc batchCase) []batchCase {
+			var out []batchCase
+			for _, v := range check.ShrinkInt(bc.N, 1) {
+				m := bc
+				m.N = v
+				out = append(out, m)
+			}
+			mutF := func(v float64, set func(*batchCase, float64)) {
+				for _, s := range check.ShrinkFloat(v, 0) {
+					m := bc
+					set(&m, s)
+					out = append(out, m)
+				}
+			}
+			mutF(bc.Energy, func(m *batchCase, v float64) { m.Energy = v })
+			mutF(bc.Latency, func(m *batchCase, v float64) { m.Latency = v })
+			mutF(bc.RepEnergy, func(m *batchCase, v float64) { m.RepEnergy = v })
+			mutF(bc.RepLat, func(m *batchCase, v float64) { m.RepLat = v })
+			return out
+		},
+	}
+}
+
+// TestPropBatchAmortisation pins the request-conservation arithmetic of the
+// batch path: batch cost is exactly n·per-inference plus one amortised
+// reprogramming pass, and therefore never exceeds n singleton runs that
+// each pay the pass themselves (batch-amortised ≤ sum of singletons).
+func TestPropBatchAmortisation(t *testing.T) {
+	t.Parallel()
+	check.Run(t, genBatchCase(), func(bc batchCase) error {
+		rep := RunReport{
+			Energy:           bc.Energy,
+			Latency:          bc.Latency,
+			Reprogrammed:     bc.Passes > 0,
+			ReprogramPasses:  bc.Passes,
+			ReprogramEnergy:  bc.RepEnergy,
+			ReprogramLatency: bc.RepLat,
+		}
+		b := BatchReport{RunReport: rep, Requests: bc.N}
+		n := float64(bc.N)
+		if d := b.BatchEnergy() - (n*bc.Energy + bc.RepEnergy); d != 0 {
+			return fmt.Errorf("BatchEnergy off by %g from n·E + reprogram", d)
+		}
+		if d := b.BatchLatency() - (n*bc.Latency + bc.RepLat); d != 0 {
+			return fmt.Errorf("BatchLatency off by %g from n·L + reprogram", d)
+		}
+		singletons := n * rep.TotalEnergy()
+		if b.BatchEnergy() > singletons*(1+1e-12) {
+			return fmt.Errorf("batch energy %g exceeds %d singleton runs %g", b.BatchEnergy(), bc.N, singletons)
+		}
+		singletonLat := n * rep.TotalLatency()
+		if b.BatchLatency() > singletonLat*(1+1e-12) {
+			return fmt.Errorf("batch latency %g exceeds %d singleton runs %g", b.BatchLatency(), bc.N, singletonLat)
+		}
+		if d := rep.TotalEnergy() - (bc.Energy + bc.RepEnergy); d != 0 {
+			return fmt.Errorf("TotalEnergy off by %g from component sum", d)
+		}
+		if d := rep.TotalLatency() - (bc.Latency + bc.RepLat); d != 0 {
+			return fmt.Errorf("TotalLatency off by %g from component sum", d)
+		}
+		if d := rep.EDP() - bc.Energy*bc.Latency; d != 0 {
+			return fmt.Errorf("EDP off by %g from Energy·Latency", d)
+		}
+		return nil
+	})
+}
+
+// propModel is a 3-layer conv stack small enough that a decision pass costs
+// microseconds; controller invariants, not workload scale, are under test.
+func propModel() *dnn.Model {
+	return &dnn.Model{
+		Name:          "prop-tiny",
+		Dataset:       dnn.Dataset{Name: "toy", InputH: 8, InputW: 8, Channels: 3, Classes: 10},
+		IdealAccuracy: 0.9,
+		Layers: []dnn.Layer{
+			{Name: "c1", Type: dnn.Conv, KernelH: 3, KernelW: 3, InChannels: 3, OutChannels: 8, InH: 8, InW: 8, Stride: 1},
+			{Name: "c2", Type: dnn.Conv, KernelH: 3, KernelW: 3, InChannels: 8, OutChannels: 8, InH: 8, InW: 8, Stride: 1},
+			{Name: "c3", Type: dnn.Conv, KernelH: 3, KernelW: 3, InChannels: 8, OutChannels: 4, InH: 8, InW: 8, Stride: 1},
+		},
+	}
+}
+
+// ctrlCase drives one controller decision pass at a generated age/batch.
+type ctrlCase struct {
+	AgeExp float64 // run time = 10^AgeExp seconds
+	N      int
+	K      int
+}
+
+func genCtrlCase() check.Gen[ctrlCase] {
+	return check.Gen[ctrlCase]{
+		Generate: func(t *check.T) ctrlCase {
+			return ctrlCase{
+				AgeExp: t.Rng.Float64() * 8,
+				N:      1 + t.Rng.Intn(8),
+				K:      1 + t.Rng.Intn(4),
+			}
+		},
+		Shrink: func(c ctrlCase) []ctrlCase {
+			var out []ctrlCase
+			for _, v := range check.ShrinkInt(c.N, 1) {
+				m := c
+				m.N = v
+				out = append(out, m)
+			}
+			for _, v := range check.ShrinkInt(c.K, 1) {
+				m := c
+				m.K = v
+				out = append(out, m)
+			}
+			for _, v := range check.ShrinkFloat(c.AgeExp, 0) {
+				m := c
+				m.AgeExp = v
+				out = append(out, m)
+			}
+			return out
+		},
+	}
+}
+
+// TestPropControllerBatchInvariants pins Algorithm 1's per-pass contract on
+// a fresh controller at arbitrary device ages: every decided size is a
+// legal grid point, the RB evaluation budget layers·(1+4K) is respected,
+// the learning state advances once per batch regardless of n, and the
+// report's totals equal their component sums.
+func TestPropControllerBatchInvariants(t *testing.T) {
+	t.Parallel()
+	sys := DefaultSystem()
+	wl, err := sys.Prepare(propModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := sys.Grid()
+	check.RunConfig(t, check.Config{Trials: 25}, genCtrlCase(), func(c ctrlCase) error {
+		opts := DefaultControllerOptions()
+		opts.SearchK = c.K
+		ctrl, err := NewController(sys, wl, freshPolicy(sys), opts)
+		if err != nil {
+			return fmt.Errorf("controller construction: %w", err)
+		}
+		rep := ctrl.RunBatch(math.Pow(10, c.AgeExp), c.N)
+		if rep.Requests != c.N {
+			return fmt.Errorf("batch of %d reported %d requests", c.N, rep.Requests)
+		}
+		if len(rep.Sizes) != wl.Layers() {
+			return fmt.Errorf("%d sizes for %d layers", len(rep.Sizes), wl.Layers())
+		}
+		for j, s := range rep.Sizes {
+			if _, _, ok := grid.IndexOf(s); !ok {
+				return fmt.Errorf("layer %d decided off-grid size %v", j, s)
+			}
+		}
+		if budget := wl.Layers() * (1 + 4*c.K); rep.SearchEvaluations > budget {
+			return fmt.Errorf("search spent %d evaluations, budget %d (K=%d)", rep.SearchEvaluations, budget, c.K)
+		}
+		if !(rep.Energy > 0) || !(rep.Latency > 0) {
+			return fmt.Errorf("degenerate inference cost %g J / %g s", rep.Energy, rep.Latency)
+		}
+		if rep.Accuracy < 0 || rep.Accuracy > 1 {
+			return fmt.Errorf("accuracy %g outside [0,1]", rep.Accuracy)
+		}
+		if d := rep.TotalEnergy() - (rep.Energy + rep.ReprogramEnergy); d != 0 {
+			return fmt.Errorf("TotalEnergy off by %g from component sum", d)
+		}
+		if d := rep.BatchEnergy() - (float64(c.N)*rep.Energy + rep.ReprogramEnergy); d != 0 {
+			return fmt.Errorf("BatchEnergy off by %g from n·E + reprogram", d)
+		}
+		if rep.Reprogrammed != (rep.ReprogramPasses > 0) {
+			return fmt.Errorf("Reprogrammed=%v but %d passes", rep.Reprogrammed, rep.ReprogramPasses)
+		}
+		return nil
+	})
+}

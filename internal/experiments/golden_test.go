@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"odin/internal/check"
+)
+
+// TestGoldenArtifacts freezes the rendered output of a representative slice
+// of the paper's tables and figures: the two static platform tables, one
+// layer-wise placement figure (fig3), the headline energy/latency
+// comparison (fig6, the full horizon driver), and the §V-E overhead
+// analysis. Every numeric path in the repository — mapping, cost models,
+// drift, search, policy bootstrap, horizon amortisation — feeds at least
+// one of these byte streams, so any unintended change to the physics or
+// the controller shows up as a golden diff. Accept intended changes with:
+//
+//	go test ./internal/experiments -run TestGoldenArtifacts -update
+//
+// The remaining experiments are deliberately not frozen: they re-measure
+// the same code paths at much higher horizon cost, and tier-1 runtime
+// matters.
+func TestGoldenArtifacts(t *testing.T) {
+	t.Parallel()
+	for _, id := range []string{"tab1", "tab2", "fig3", "fig6", "overhead"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("experiment %s: %v", id, err)
+			}
+			check.Golden(t, filepath.Join("testdata", id+".golden"), buf.Bytes())
+		})
+	}
+}

@@ -1,0 +1,215 @@
+package ou
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"odin/internal/check"
+)
+
+// geoProfile is a synthetic sparsity profile: the segment-zero probability
+// decays geometrically with width, which satisfies the SparsityProfile
+// contract (value in [0,1], non-increasing in width) for any base in [0,1).
+type geoProfile struct{ base float64 }
+
+func (p geoProfile) SegmentZeroFraction(width int) float64 {
+	return math.Pow(p.base, float64(width))
+}
+
+// workCase is one generated cost-model scenario: a workload, a sparsity
+// regime, and two level indices per axis so monotonicity properties can
+// compare ordered OU sizes on the same workload.
+type workCase struct {
+	Xbars, Rows, Cols int
+	Dense             bool
+	Base              float64 // geometric profile base when not dense
+	RIdx, CIdx        int     // primary OU level indices on DefaultGrid(128)
+	RAlt, CAlt        int     // secondary indices for ordered comparisons
+}
+
+func (wc workCase) work() LayerWork {
+	w := LayerWork{Xbars: wc.Xbars, RowsUsed: wc.Rows, ColsUsed: wc.Cols}
+	if !wc.Dense {
+		w.Sparsity = geoProfile{base: wc.Base}
+	}
+	return w
+}
+
+func genWorkCase() check.Gen[workCase] {
+	return check.Gen[workCase]{
+		Generate: func(t *check.T) workCase {
+			return workCase{
+				Xbars: 1 + t.Rng.Intn(8),
+				Rows:  1 + t.Rng.Intn(128),
+				Cols:  1 + t.Rng.Intn(128),
+				Dense: t.Rng.Bernoulli(0.4),
+				Base:  t.Rng.Float64() * 0.95,
+				RIdx:  t.Rng.Intn(6),
+				CIdx:  t.Rng.Intn(6),
+				RAlt:  t.Rng.Intn(6),
+				CAlt:  t.Rng.Intn(6),
+			}
+		},
+		Shrink: func(wc workCase) []workCase {
+			var out []workCase
+			mutInt := func(v, toward int, set func(*workCase, int)) {
+				for _, c := range check.ShrinkInt(v, toward) {
+					m := wc
+					set(&m, c)
+					out = append(out, m)
+				}
+			}
+			mutInt(wc.Xbars, 1, func(m *workCase, v int) { m.Xbars = v })
+			mutInt(wc.Rows, 1, func(m *workCase, v int) { m.Rows = v })
+			mutInt(wc.Cols, 1, func(m *workCase, v int) { m.Cols = v })
+			mutInt(wc.RIdx, 0, func(m *workCase, v int) { m.RIdx = v })
+			mutInt(wc.CIdx, 0, func(m *workCase, v int) { m.CIdx = v })
+			mutInt(wc.RAlt, 0, func(m *workCase, v int) { m.RAlt = v })
+			mutInt(wc.CAlt, 0, func(m *workCase, v int) { m.CAlt = v })
+			if !wc.Dense {
+				m := wc
+				m.Dense = true
+				out = append(out, m)
+			}
+			return out
+		},
+	}
+}
+
+// ordered returns (lo, hi) of two level indices, vacuous=true when equal.
+func ordered(a, b int) (lo, hi int, vacuous bool) {
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, a == b
+}
+
+// TestPropCyclesNonincreasingInR pins the metamorphic invariant that taller
+// OUs never need more compute cycles: activating more wordlines per cycle
+// covers the occupied rows in fewer row steps, for any sparsity profile.
+func TestPropCyclesNonincreasingInR(t *testing.T) {
+	t.Parallel()
+	grid := DefaultGrid(128)
+	check.Run(t, genWorkCase(), func(wc workCase) error {
+		lo, hi, vacuous := ordered(wc.RIdx, wc.RAlt)
+		if vacuous {
+			return nil
+		}
+		w := wc.work()
+		small, big := grid.SizeAt(lo, wc.CIdx), grid.SizeAt(hi, wc.CIdx)
+		if cs, cb := w.Cycles(small), w.Cycles(big); cb > cs {
+			return fmt.Errorf("cycles increased with R: %v needs %d, %v needs %d (rows=%d cols=%d dense=%v)",
+				small, cs, big, cb, wc.Rows, wc.Cols, wc.Dense)
+		}
+		return nil
+	})
+}
+
+// TestPropCyclesNonincreasingInCDense pins that on a dense layer, wider OUs
+// never need more cycles (fewer column groups). This holds only without
+// sparsity: narrow OUs can skip more zero segments, so the general-profile
+// version of this property is genuinely false and deliberately not encoded.
+func TestPropCyclesNonincreasingInCDense(t *testing.T) {
+	t.Parallel()
+	grid := DefaultGrid(128)
+	check.Run(t, genWorkCase(), func(wc workCase) error {
+		lo, hi, vacuous := ordered(wc.CIdx, wc.CAlt)
+		if vacuous {
+			return nil
+		}
+		wc.Dense = true
+		w := wc.work()
+		narrow, wide := grid.SizeAt(wc.RIdx, lo), grid.SizeAt(wc.RIdx, hi)
+		if cn, cw := w.Cycles(narrow), w.Cycles(wide); cw > cn {
+			return fmt.Errorf("dense cycles increased with C: %v needs %d, %v needs %d (rows=%d cols=%d)",
+				narrow, cn, wide, cw, wc.Rows, wc.Cols)
+		}
+		return nil
+	})
+}
+
+// TestPropEnergyNondecreasingInR pins Eq. 2's direction: taller OUs raise
+// the per-cycle energy (log2(R)·R·C) faster than they cut cycles, so layer
+// energy never drops when R grows with C fixed. (Energy in C and latency in
+// either axis are non-monotone by design — that trade-off is the paper's
+// whole point — so no such properties exist for them.)
+func TestPropEnergyNondecreasingInR(t *testing.T) {
+	t.Parallel()
+	grid := DefaultGrid(128)
+	cm := DefaultCostModel()
+	check.Run(t, genWorkCase(), func(wc workCase) error {
+		lo, hi, vacuous := ordered(wc.RIdx, wc.RAlt)
+		if vacuous {
+			return nil
+		}
+		w := wc.work()
+		small, big := grid.SizeAt(lo, wc.CIdx), grid.SizeAt(hi, wc.CIdx)
+		es, eb := cm.Energy(w, small), cm.Energy(w, big)
+		if es > eb*(1+1e-12) {
+			return fmt.Errorf("energy dropped with R: %v costs %g J, %v costs %g J (rows=%d cols=%d dense=%v)",
+				small, es, big, eb, wc.Rows, wc.Cols, wc.Dense)
+		}
+		return nil
+	})
+}
+
+// TestPropCycleAccounting pins the cycle-count bookkeeping: at least one
+// cycle per crossbar, exact ceil-division structure on dense layers, and
+// TotalCycles = Xbars · Cycles.
+func TestPropCycleAccounting(t *testing.T) {
+	t.Parallel()
+	grid := DefaultGrid(128)
+	check.Run(t, genWorkCase(), func(wc workCase) error {
+		w := wc.work()
+		s := grid.SizeAt(wc.RIdx, wc.CIdx)
+		cycles := w.Cycles(s)
+		if cycles < 1 {
+			return fmt.Errorf("cycle count %d below 1 for %v", cycles, s)
+		}
+		if got, want := w.TotalCycles(s), wc.Xbars*cycles; got != want {
+			return fmt.Errorf("TotalCycles %d != Xbars(%d)·Cycles(%d)", got, wc.Xbars, cycles)
+		}
+		if wc.Dense {
+			want := ceilDiv(wc.Rows, s.R) * ceilDiv(wc.Cols, s.C)
+			if cycles != want {
+				return fmt.Errorf("dense cycles %d != ceil(%d/%d)·ceil(%d/%d) = %d",
+					cycles, wc.Rows, s.R, wc.Cols, s.C, want)
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropEvaluateConsistent pins that the bundled Evaluate agrees with the
+// individual Energy/Latency/EDP entry points and that every component is
+// positive — the "component sums equal totals" leg at the Eq. 1/2 level.
+func TestPropEvaluateConsistent(t *testing.T) {
+	t.Parallel()
+	grid := DefaultGrid(128)
+	cm := DefaultCostModel()
+	relClose := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+	}
+	check.Run(t, genWorkCase(), func(wc workCase) error {
+		w := wc.work()
+		s := grid.SizeAt(wc.RIdx, wc.CIdx)
+		c := cm.Evaluate(w, s)
+		if !(c.Energy > 0) || !(c.Latency > 0) {
+			return fmt.Errorf("non-positive cost %+v for %v", c, s)
+		}
+		if !relClose(c.Energy, cm.Energy(w, s)) {
+			return fmt.Errorf("Evaluate energy %g != Energy %g", c.Energy, cm.Energy(w, s))
+		}
+		if !relClose(c.Latency, cm.Latency(w, s)) {
+			return fmt.Errorf("Evaluate latency %g != Latency %g", c.Latency, cm.Latency(w, s))
+		}
+		if !relClose(c.EDP(), cm.EDP(w, s)) {
+			return fmt.Errorf("Cost.EDP %g != CostModel.EDP %g", c.EDP(), cm.EDP(w, s))
+		}
+		if c.Cycles != w.Cycles(s) {
+			return fmt.Errorf("Evaluate cycles %d != Cycles %d", c.Cycles, w.Cycles(s))
+		}
+		return nil
+	})
+}

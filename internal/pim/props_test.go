@@ -1,0 +1,247 @@
+package pim
+
+import (
+	"fmt"
+	"testing"
+
+	"odin/internal/check"
+	"odin/internal/dnn"
+)
+
+// adcCase pairs two OU heights so ADC precision properties can compare
+// ordered inputs on one platform.
+type adcCase struct{ R1, R2 int }
+
+func genADCCase() check.Gen[adcCase] {
+	r := check.IntRange(1, 4096)
+	return check.Gen[adcCase]{
+		Generate: func(t *check.T) adcCase {
+			return adcCase{R1: r.Generate(t), R2: r.Generate(t)}
+		},
+		Shrink: func(c adcCase) []adcCase {
+			var out []adcCase
+			for _, v := range check.ShrinkInt(c.R1, 1) {
+				out = append(out, adcCase{R1: v, R2: c.R2})
+			}
+			for _, v := range check.ShrinkInt(c.R2, 1) {
+				out = append(out, adcCase{R1: c.R1, R2: v})
+			}
+			return out
+		},
+	}
+}
+
+// ceilLog2 is an integer oracle for ceil(log2(r)): the smallest b with
+// 2^b >= r. Independent of the float math ADCBits uses.
+func ceilLog2(r int) int {
+	b := 0
+	for 1<<b < r {
+		b++
+	}
+	return b
+}
+
+// TestPropADCBitsLogCostMonotoneClamped pins the ADC precision law: the
+// configured bit count equals ceil(log2(R)) clamped to the reconfigurable
+// [min,max] range, and is therefore monotone non-decreasing in R. This is
+// the `make check` mutation-smoke target — breaking the monotone direction
+// must produce a shrunk counterexample.
+func TestPropADCBitsLogCostMonotoneClamped(t *testing.T) {
+	t.Parallel()
+	arch := DefaultArch()
+	check.Run(t, genADCCase(), func(c adcCase) error {
+		for _, r := range []int{c.R1, c.R2} {
+			bits := arch.ADCBits(r)
+			if bits < arch.ADCMinBits || bits > arch.ADCMaxBits {
+				return fmt.Errorf("ADCBits(%d) = %d outside [%d,%d]", r, bits, arch.ADCMinBits, arch.ADCMaxBits)
+			}
+			want := ceilLog2(r)
+			if want < arch.ADCMinBits {
+				want = arch.ADCMinBits
+			}
+			if want > arch.ADCMaxBits {
+				want = arch.ADCMaxBits
+			}
+			if bits != want {
+				return fmt.Errorf("ADCBits(%d) = %d, want clamp(ceil(log2)) = %d", r, bits, want)
+			}
+		}
+		lo, hi := c.R1, c.R2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if bl, bh := arch.ADCBits(lo), arch.ADCBits(hi); bl > bh {
+			return fmt.Errorf("ADC precision not monotone: ADCBits(%d)=%d > ADCBits(%d)=%d", lo, bl, hi, bh)
+		}
+		return nil
+	})
+}
+
+// layerCase is a generated (valid) conv/FC layer for mapping properties.
+type layerCase struct {
+	FC        bool
+	Kernel    int
+	In, Out   int
+	Spatial   int
+	Stride    int
+	Depthwise bool
+	Sparsity  float64
+}
+
+func (lc layerCase) layer() dnn.Layer {
+	l := dnn.Layer{
+		Name:           "gen",
+		Type:           dnn.Conv,
+		KernelH:        lc.Kernel,
+		KernelW:        lc.Kernel,
+		InChannels:     lc.In,
+		OutChannels:    lc.Out,
+		InH:            lc.Spatial,
+		InW:            lc.Spatial,
+		Stride:         lc.Stride,
+		WeightSparsity: lc.Sparsity,
+	}
+	if lc.FC {
+		l.Type = dnn.FC
+		l.KernelH, l.KernelW = 1, 1
+		l.InH, l.InW = 1, 1
+		l.Stride = 1
+	} else if lc.Depthwise {
+		l.OutChannels = l.InChannels
+		l.Groups = l.InChannels
+	}
+	return l
+}
+
+func genLayerCase() check.Gen[layerCase] {
+	return check.Gen[layerCase]{
+		Generate: func(t *check.T) layerCase {
+			return layerCase{
+				FC:        t.Rng.Bernoulli(0.25),
+				Kernel:    1 + t.Rng.Intn(5),
+				In:        1 + t.Rng.Intn(96),
+				Out:       1 + t.Rng.Intn(96),
+				Spatial:   2 + t.Rng.Intn(31),
+				Stride:    1 + t.Rng.Intn(2),
+				Depthwise: t.Rng.Bernoulli(0.2),
+				Sparsity:  t.Rng.Float64() * 0.9,
+			}
+		},
+		Shrink: func(lc layerCase) []layerCase {
+			var out []layerCase
+			mutInt := func(v, toward int, set func(*layerCase, int)) {
+				for _, c := range check.ShrinkInt(v, toward) {
+					m := lc
+					set(&m, c)
+					out = append(out, m)
+				}
+			}
+			mutInt(lc.Kernel, 1, func(m *layerCase, v int) { m.Kernel = v })
+			mutInt(lc.In, 1, func(m *layerCase, v int) { m.In = v })
+			mutInt(lc.Out, 1, func(m *layerCase, v int) { m.Out = v })
+			mutInt(lc.Spatial, 2, func(m *layerCase, v int) { m.Spatial = v })
+			if lc.Depthwise {
+				m := lc
+				m.Depthwise = false
+				out = append(out, m)
+			}
+			if lc.Sparsity > 0 {
+				m := lc
+				m.Sparsity = 0
+				out = append(out, m)
+			}
+			return out
+		},
+	}
+}
+
+// TestPropMapLayerInvariants pins the structural contract of the
+// layer→crossbar mapping for any valid layer: occupancy fits the crossbar,
+// tile bookkeeping is consistent, the placement covers the im2col
+// requirement, and cell accounting never exceeds the total.
+func TestPropMapLayerInvariants(t *testing.T) {
+	t.Parallel()
+	arch := DefaultArch()
+	check.Run(t, genLayerCase(), func(lc layerCase) error {
+		l := lc.layer()
+		if err := l.Validate(); err != nil {
+			return nil // generator corner the dnn layer model rejects: vacuous
+		}
+		m := arch.MapLayer(l)
+		if m.Xbars < 1 || m.RowTiles < 1 || m.ColTiles < 1 {
+			return fmt.Errorf("non-positive tiling %+v", m)
+		}
+		if m.Xbars != m.RowTiles*m.ColTiles {
+			return fmt.Errorf("Xbars %d != RowTiles %d · ColTiles %d", m.Xbars, m.RowTiles, m.ColTiles)
+		}
+		if m.RowsUsed < 1 || m.RowsUsed > arch.CrossbarSize {
+			return fmt.Errorf("RowsUsed %d outside [1,%d]", m.RowsUsed, arch.CrossbarSize)
+		}
+		if m.ColsUsed < 1 || m.ColsUsed > arch.CrossbarSize {
+			return fmt.Errorf("ColsUsed %d outside [1,%d]", m.ColsUsed, arch.CrossbarSize)
+		}
+		if l.GroupCount() == 1 {
+			if m.RowsUsed*m.RowTiles < m.RowsRequired {
+				return fmt.Errorf("row placement %d·%d covers less than required %d",
+					m.RowsUsed, m.RowTiles, m.RowsRequired)
+			}
+			if m.ColsUsed*m.ColTiles < m.ColsRequired {
+				return fmt.Errorf("column placement %d·%d covers less than required %d",
+					m.ColsUsed, m.ColTiles, m.ColsRequired)
+			}
+		}
+		if m.CellsNonZero < 0 || m.CellsNonZero > m.CellsTotal {
+			return fmt.Errorf("non-zero cells %d outside [0, total %d]", m.CellsNonZero, m.CellsTotal)
+		}
+		if want := l.Weights() * arch.CellsPerWeight(); m.CellsTotal != want {
+			return fmt.Errorf("CellsTotal %d != weights·cellsPerWeight %d", m.CellsTotal, want)
+		}
+		return nil
+	})
+}
+
+// TestPropPeripheralEnergyMonotoneInCycles pins that the non-Eq.2 energy is
+// positive and non-decreasing in the OU cycle count (buffer traffic grows
+// with cycles; DAC/eDRAM terms are cycle-independent).
+func TestPropPeripheralEnergyMonotoneInCycles(t *testing.T) {
+	t.Parallel()
+	arch := DefaultArch()
+	type cyc struct {
+		LC     layerCase
+		C1, C2 int
+	}
+	g := check.Gen[cyc]{
+		Generate: func(t *check.T) cyc {
+			return cyc{LC: genLayerCase().Generate(t), C1: 1 + t.Rng.Intn(4096), C2: 1 + t.Rng.Intn(4096)}
+		},
+		Shrink: func(c cyc) []cyc {
+			var out []cyc
+			for _, v := range check.ShrinkInt(c.C1, 1) {
+				out = append(out, cyc{LC: c.LC, C1: v, C2: c.C2})
+			}
+			for _, v := range check.ShrinkInt(c.C2, 1) {
+				out = append(out, cyc{LC: c.LC, C1: c.C1, C2: v})
+			}
+			return out
+		},
+	}
+	check.Run(t, g, func(c cyc) error {
+		l := c.LC.layer()
+		if err := l.Validate(); err != nil {
+			return nil
+		}
+		m := arch.MapLayer(l)
+		lo, hi := c.C1, c.C2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		el, eh := arch.PeripheralEnergy(l, m, lo), arch.PeripheralEnergy(l, m, hi)
+		if !(el > 0) {
+			return fmt.Errorf("peripheral energy %g not positive at %d cycles", el, lo)
+		}
+		if el > eh*(1+1e-12) {
+			return fmt.Errorf("peripheral energy dropped with cycles: %g J at %d vs %g J at %d", el, lo, eh, hi)
+		}
+		return nil
+	})
+}

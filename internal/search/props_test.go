@@ -1,0 +1,188 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"odin/internal/accuracy"
+	"odin/internal/check"
+	"odin/internal/ou"
+	"odin/internal/pim"
+	"odin/internal/reram"
+)
+
+// searchCase is one generated search problem: a workload, a layer position,
+// a device age, a start point for the bounded walk, and a step budget.
+type searchCase struct {
+	Xbars, Rows, Cols int
+	Layer, Total      int
+	AgeExp            float64 // age = T0 · 10^AgeExp
+	StartR, StartC    int     // level indices
+	K                 int
+}
+
+func genSearchCase() check.Gen[searchCase] {
+	return check.Gen[searchCase]{
+		Generate: func(t *check.T) searchCase {
+			total := 1 + t.Rng.Intn(12)
+			return searchCase{
+				Xbars: 1 + t.Rng.Intn(6),
+				Rows:  1 + t.Rng.Intn(128),
+				Cols:  1 + t.Rng.Intn(128),
+				Layer: t.Rng.Intn(total), Total: total,
+				AgeExp: t.Rng.Float64() * 8,
+				StartR: t.Rng.Intn(6), StartC: t.Rng.Intn(6),
+				K: 1 + t.Rng.Intn(5),
+			}
+		},
+		Shrink: func(c searchCase) []searchCase {
+			var out []searchCase
+			mutInt := func(v, toward int, set func(*searchCase, int)) {
+				for _, s := range check.ShrinkInt(v, toward) {
+					m := c
+					set(&m, s)
+					out = append(out, m)
+				}
+			}
+			mutInt(c.Xbars, 1, func(m *searchCase, v int) { m.Xbars = v })
+			mutInt(c.Rows, 1, func(m *searchCase, v int) { m.Rows = v })
+			mutInt(c.Cols, 1, func(m *searchCase, v int) { m.Cols = v })
+			mutInt(c.StartR, 0, func(m *searchCase, v int) { m.StartR = v })
+			mutInt(c.StartC, 0, func(m *searchCase, v int) { m.StartC = v })
+			mutInt(c.K, 1, func(m *searchCase, v int) { m.K = v })
+			if c.Total > 1 {
+				m := c
+				m.Total, m.Layer = 1, 0
+				out = append(out, m)
+			}
+			for _, s := range check.ShrinkFloat(c.AgeExp, 0) {
+				m := c
+				m.AgeExp = s
+				out = append(out, m)
+			}
+			return out
+		},
+	}
+}
+
+func (c searchCase) objective(acc accuracy.Model, cm ou.CostModel) Objective {
+	return Objective{
+		Cost:  cm,
+		Work:  ou.LayerWork{Xbars: c.Xbars, RowsUsed: c.Rows, ColsUsed: c.Cols},
+		Acc:   acc,
+		Layer: c.Layer,
+		Of:    c.Total,
+		Time:  acc.Device.T0 * math.Pow(10, c.AgeExp),
+	}
+}
+
+func propFixtures() (accuracy.Model, ou.CostModel, ou.Grid) {
+	arch := pim.DefaultArch()
+	return accuracy.Default(reram.DefaultDeviceParams()), arch.CostModel(), arch.Grid()
+}
+
+// TestPropExhaustiveOptimalOnGrid pins the EX search contract: it evaluates
+// the whole grid exactly once per size, returns only legal grid sizes, and
+// its answer matches a brute-force feasible-minimum recomputation.
+func TestPropExhaustiveOptimalOnGrid(t *testing.T) {
+	t.Parallel()
+	acc, cm, grid := propFixtures()
+	check.Run(t, genSearchCase(), func(c searchCase) error {
+		o := c.objective(acc, cm)
+		res := Exhaustive(grid, o)
+		if want := grid.Levels() * grid.Levels(); res.Evaluations != want {
+			return fmt.Errorf("EX evaluated %d candidates, want the full grid %d", res.Evaluations, want)
+		}
+		bestEDP, found := math.Inf(1), false
+		for _, s := range grid.Sizes() {
+			if !o.Feasible(s) {
+				continue
+			}
+			found = true
+			if edp := o.EDP(s); edp < bestEDP {
+				bestEDP = edp
+			}
+		}
+		if res.Found != found {
+			return fmt.Errorf("EX Found=%v but brute force says %v", res.Found, found)
+		}
+		if !found {
+			return nil
+		}
+		if _, _, ok := grid.IndexOf(res.Best); !ok {
+			return fmt.Errorf("EX returned off-grid size %v", res.Best)
+		}
+		if !o.Feasible(res.Best) {
+			return fmt.Errorf("EX returned infeasible size %v", res.Best)
+		}
+		if !(res.BestEDP <= bestEDP) || !(res.BestEDP >= bestEDP) {
+			return fmt.Errorf("EX BestEDP %g != brute-force minimum %g", res.BestEDP, bestEDP)
+		}
+		return nil
+	})
+}
+
+// TestPropResourceBoundedBudgetAndLegality pins the RB search contract: the
+// evaluation count respects the 1+4K budget, any returned size is a legal,
+// feasible grid point, and a feasible start is never made worse (the
+// incumbent guarantee Algorithm 1 relies on).
+func TestPropResourceBoundedBudgetAndLegality(t *testing.T) {
+	t.Parallel()
+	acc, cm, grid := propFixtures()
+	check.Run(t, genSearchCase(), func(c searchCase) error {
+		o := c.objective(acc, cm)
+		start := grid.SizeAt(c.StartR, c.StartC)
+		res := ResourceBounded(grid, o, start, c.K)
+		if res.Evaluations < 1 || res.Evaluations > 1+4*c.K {
+			return fmt.Errorf("RB evaluations %d outside [1, 1+4·%d]", res.Evaluations, c.K)
+		}
+		if res.Found {
+			if _, _, ok := grid.IndexOf(res.Best); !ok {
+				return fmt.Errorf("RB returned off-grid size %v", res.Best)
+			}
+			if !o.Feasible(res.Best) {
+				return fmt.Errorf("RB returned infeasible size %v", res.Best)
+			}
+		}
+		if o.Feasible(start) {
+			if !res.Found {
+				return fmt.Errorf("RB lost the feasible start %v", start)
+			}
+			if res.BestEDP > o.EDP(start)*(1+1e-12) {
+				return fmt.Errorf("RB regressed below the incumbent: best %v EDP %g vs start %v EDP %g",
+					res.Best, res.BestEDP, start, o.EDP(start))
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropClampFeasibleContract pins the drift-shrink move: the result is
+// always a grid point; it is feasible whenever any grid size is; a feasible
+// on-grid start is returned unchanged; and the walk only ever shrinks.
+func TestPropClampFeasibleContract(t *testing.T) {
+	t.Parallel()
+	acc, cm, grid := propFixtures()
+	check.Run(t, genSearchCase(), func(c searchCase) error {
+		o := c.objective(acc, cm)
+		start := grid.SizeAt(c.StartR, c.StartC)
+		got := ClampFeasible(grid, o, start)
+		if _, _, ok := grid.IndexOf(got); !ok {
+			return fmt.Errorf("ClampFeasible returned off-grid size %v", got)
+		}
+		if got.R > start.R || got.C > start.C {
+			return fmt.Errorf("ClampFeasible grew the OU: %v from start %v", got, start)
+		}
+		if o.Feasible(start) {
+			if got != start {
+				return fmt.Errorf("feasible start %v moved to %v", start, got)
+			}
+			return nil
+		}
+		if o.Acc.AnySatisfiable(c.Layer, c.Total, grid, o.Time) && !o.Feasible(got) {
+			return fmt.Errorf("ClampFeasible returned infeasible %v although the grid has feasible sizes", got)
+		}
+		return nil
+	})
+}

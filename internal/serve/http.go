@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// maxInferBody bounds /infer request bodies. Inference submissions are a
+// model name and a count; anything larger is a malformed client.
+const maxInferBody = 1 << 16
+
+// InferRequest is the JSON body of POST /infer. Count requests for Model
+// are submitted together so the dispatcher can coalesce them into one
+// decision pass. Count defaults to 1; the legacy ?model=NAME query form is
+// accepted when the body is empty.
+type InferRequest struct {
+	Model string `json:"model"`
+	Count int    `json:"count,omitempty"`
+}
+
+// InferReply is the JSON body of a successful POST /infer: one Response
+// per submitted request, in submission order.
+type InferReply struct {
+	Responses []Response `json:"responses"`
+}
+
+// httpError is the JSON body of every non-2xx /infer response.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// HasModel reports whether any chip of the fleet hosts the named model.
+// The fleet is fixed at NewServer, so this is safe from any goroutine.
+func (s *Server) HasModel(name string) bool {
+	return len(s.byModel[name]) > 0
+}
+
+// Models lists the distinct models hosted by the fleet, sorted.
+func (s *Server) Models() []string {
+	out := make([]string, 0, len(s.byModel))
+	for name := range s.byModel {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MaxBatch returns the per-pass coalescing cap the server was built with.
+func (s *Server) MaxBatch() int { return s.cfg.MaxBatch }
+
+// NewHandler exposes a started Server over HTTP:
+//
+//	POST /infer     submit 1..MaxBatch requests, JSON body or ?model=NAME
+//	GET  /metrics   Prometheus text exposition
+//	GET  /healthz   liveness probe
+//
+// Every /infer response, success or error, is JSON with Content-Type
+// application/json. Error statuses: 405 (method), 400 (malformed body,
+// missing model, non-positive count), 404 (model not hosted by the fleet),
+// 413 (count exceeds MaxBatch), 429 (every submission shed by admission
+// control), 503 (server draining).
+//
+// The server must be Live: non-live servers only retire batches on the
+// dispatcher's arrival path, so a blocking handler would deadlock.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) { s.handleInfer(w, r) })
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var sb strings.Builder
+		if err := s.Registry().WritePrometheus(&sb); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, sb.String())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeJSON emits one JSON response. Headers must be set before
+// WriteHeader; mutations after it are silently ignored.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// An encode failure here means the client went away mid-write; nothing
+	// sensible left to do.
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+// parseInfer decodes the submission from the body, falling back to the
+// legacy ?model=NAME query form when the body is empty. It validates
+// everything that does not require the fleet: syntax, model presence, and
+// count positivity.
+func parseInfer(r *http.Request) (InferRequest, int, error) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxInferBody+1))
+	if err != nil {
+		return InferRequest{}, http.StatusBadRequest, fmt.Errorf("reading body: %w", err)
+	}
+	if len(raw) > maxInferBody {
+		return InferRequest{}, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body exceeds %d bytes", maxInferBody)
+	}
+	req := InferRequest{Model: r.URL.Query().Get("model")}
+	if len(strings.TrimSpace(string(raw))) > 0 {
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return InferRequest{}, http.StatusBadRequest, fmt.Errorf("malformed JSON body: %v", err)
+		}
+	}
+	if req.Model == "" {
+		return InferRequest{}, http.StatusBadRequest,
+			fmt.Errorf(`missing model: POST /infer {"model":"NAME"} or /infer?model=NAME`)
+	}
+	if req.Count < 0 {
+		return InferRequest{}, http.StatusBadRequest, fmt.Errorf("count %d must be positive", req.Count)
+	}
+	if req.Count == 0 {
+		req.Count = 1
+	}
+	return req, 0, nil
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST /infer")
+		return
+	}
+	req, status, err := parseInfer(r)
+	if err != nil {
+		writeError(w, status, "odinserve: %v", err)
+		return
+	}
+	if !s.HasModel(req.Model) {
+		writeError(w, http.StatusNotFound, "odinserve: model %q not hosted (fleet serves %s)",
+			req.Model, strings.Join(s.Models(), ", "))
+		return
+	}
+	if req.Count > s.MaxBatch() {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"odinserve: count %d exceeds the batch cap %d", req.Count, s.MaxBatch())
+		return
+	}
+
+	// Submit everything before reading any response so the dispatcher can
+	// coalesce the submissions into one decision pass.
+	chans := make([]<-chan Response, req.Count)
+	for i := range chans {
+		chans[i] = s.Submit(req.Model)
+	}
+	reply := InferReply{Responses: make([]Response, req.Count)}
+	allShed := true
+	for i, ch := range chans {
+		resp := <-ch
+		reply.Responses[i] = resp
+		if strings.Contains(resp.Err, "draining") {
+			writeError(w, http.StatusServiceUnavailable, "odinserve: server is draining")
+			return
+		}
+		allShed = allShed && resp.Shed
+	}
+	status = http.StatusOK
+	if allShed {
+		status = http.StatusTooManyRequests
+	}
+	writeJSON(w, status, reply)
+}

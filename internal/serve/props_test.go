@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"odin/internal/check"
+	"odin/internal/core"
+)
+
+// fleetCase is one generated replay scenario: a trace shape plus a fleet
+// shape.
+type fleetCase struct {
+	Seed           uint64
+	Rate           float64
+	Requests       int
+	Chips, Workers int
+}
+
+func genFleetCase() check.Gen[fleetCase] {
+	return check.Gen[fleetCase]{
+		Generate: func(t *check.T) fleetCase {
+			return fleetCase{
+				Seed:     t.Rng.Uint64(),
+				Rate:     100 + t.Rng.Float64()*1e6, // spans idle to heavily shedding fleets
+				Requests: 1 + t.Rng.Intn(40),
+				Chips:    1 + t.Rng.Intn(3),
+				Workers:  1 + t.Rng.Intn(4),
+			}
+		},
+		Shrink: func(c fleetCase) []fleetCase {
+			var out []fleetCase
+			mutInt := func(v, toward int, set func(*fleetCase, int)) {
+				for _, s := range check.ShrinkInt(v, toward) {
+					m := c
+					set(&m, s)
+					out = append(out, m)
+				}
+			}
+			mutInt(c.Requests, 1, func(m *fleetCase, v int) { m.Requests = v })
+			mutInt(c.Chips, 1, func(m *fleetCase, v int) { m.Chips = v })
+			mutInt(c.Workers, 1, func(m *fleetCase, v int) { m.Workers = v })
+			return out
+		},
+	}
+}
+
+func (c fleetCase) trace(t testing.TB) Trace {
+	tr, err := GenTrace(TraceConfig{
+		Seed:     c.Seed,
+		Rate:     c.Rate,
+		Requests: c.Requests,
+		Models:   []string{"tiny"},
+	})
+	if err != nil {
+		t.Fatalf("trace generation: %v", err)
+	}
+	return tr
+}
+
+// TestPropReplayConservation pins request conservation through the serving
+// stack under arbitrary load: every submitted request is answered exactly
+// once, in id order, as exactly one of admitted, shed, or errored; admitted
+// responses carry legal OU decisions and non-negative costs.
+func TestPropReplayConservation(t *testing.T) {
+	t.Parallel()
+	grid := core.DefaultSystem().Grid()
+	check.RunConfig(t, check.Config{Trials: 20}, genFleetCase(), func(c fleetCase) error {
+		tr := c.trace(t)
+		res := replayOnce(t, tr, c.Chips, c.Workers)
+		if got := res.Admitted + res.Shed + res.Errors; got != len(tr) {
+			return fmt.Errorf("conservation broken: admitted %d + shed %d + errors %d = %d, submitted %d",
+				res.Admitted, res.Shed, res.Errors, got, len(tr))
+		}
+		if len(res.Responses) != len(tr) {
+			return fmt.Errorf("%d responses for %d requests", len(res.Responses), len(tr))
+		}
+		for i, r := range res.Responses {
+			if r.ID != uint64(i) {
+				return fmt.Errorf("response %d carries id %d (drain must deliver each id exactly once)", i, r.ID)
+			}
+			if r.Shed || r.Err != "" {
+				continue
+			}
+			if r.Energy < 0 || r.Latency < 0 || r.Wait < 0 {
+				return fmt.Errorf("request %d has negative cost: E=%g L=%g wait=%g", i, r.Energy, r.Latency, r.Wait)
+			}
+			for j, s := range r.Sizes {
+				if _, _, ok := grid.IndexOf(s); !ok {
+					return fmt.Errorf("request %d layer %d served with off-grid OU %v", i, j, s)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropReplayDeterministic pins the serving layer's replay contract:
+// two fresh fleets fed the same trace produce byte-identical decision logs
+// (equal FNV-1a checksums), independent of worker-pool scheduling.
+func TestPropReplayDeterministic(t *testing.T) {
+	t.Parallel()
+	check.RunConfig(t, check.Config{Trials: 10}, genFleetCase(), func(c fleetCase) error {
+		tr := c.trace(t)
+		a := replayOnce(t, tr, c.Chips, c.Workers)
+		b := replayOnce(t, tr, c.Chips, c.Workers)
+		if a.Checksum != b.Checksum {
+			return fmt.Errorf("replay diverged: checksum %#016x vs %#016x (%d requests, %d chips, %d workers)",
+				a.Checksum, b.Checksum, c.Requests, c.Chips, c.Workers)
+		}
+		if a.Admitted != b.Admitted || a.Shed != b.Shed || a.Errors != b.Errors {
+			return fmt.Errorf("replay counts diverged: %d/%d/%d vs %d/%d/%d",
+				a.Admitted, a.Shed, a.Errors, b.Admitted, b.Shed, b.Errors)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"odin/internal/check"
+)
+
+// TestHistogramBucketEdges pins the upper-inclusive `le` semantics at every
+// edge: a sample equal to a bound lands in that bound's bucket, a sample
+// just above it lands in the next one.
+func TestHistogramBucketEdges(t *testing.T) {
+	t.Parallel()
+	bounds := []float64{1, 2, 4}
+	h := NewRegistry().Histogram("edge", "", bounds)
+	for _, b := range bounds {
+		h.Observe(b)
+		h.Observe(math.Nextafter(b, math.Inf(1)))
+	}
+	// Raw (non-cumulative) occupancy: bucket i holds its own bound plus the
+	// value just above bound i-1.
+	want := []uint64{1, 2, 2, 1} // le=1: {1}; le=2: {1⁺,2}; le=4: {2⁺,4}; +Inf: {4⁺}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("raw bucket %d holds %d samples, want %d", i, got, w)
+		}
+	}
+}
+
+// TestHistogramPlusInfBucket pins the implicit overflow bucket: anything
+// beyond the last bound — including literal +Inf — is counted there and
+// still contributes to Count and the exposition totals.
+func TestHistogramPlusInfBucket(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.Histogram("over", "", []float64{1})
+	h.Observe(2)
+	h.Observe(math.Inf(1))
+	if got := h.counts[1].Load(); got != 2 {
+		t.Fatalf("overflow bucket holds %d samples, want 2", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Fatalf("Count() = %d, want 2", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`over_bucket{le="1"} 0`, `over_bucket{le="+Inf"} 2`, `over_count 2`} {
+		if !strings.Contains(sb.String(), want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestHistogramNegativeObservations pins that negative samples are ordinary
+// observations: they land in the first finite bucket (its bound exceeds
+// them), count toward _count, and drag _sum negative.
+func TestHistogramNegativeObservations(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.Histogram("neg", "", []float64{0, 1})
+	h.Observe(-3)
+	h.Observe(-0.5)
+	h.Observe(0.25)
+	if got := h.counts[0].Load(); got != 2 {
+		t.Fatalf("first bucket holds %d samples, want the 2 negatives", got)
+	}
+	if got := h.Sum(); math.Abs(got-(-3.25)) > 1e-12 {
+		t.Fatalf("Sum() = %g, want -3.25", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`neg_bucket{le="0"} 2`, `neg_bucket{le="1"} 3`, `neg_sum -3.25`, `neg_count 3`} {
+		if !strings.Contains(sb.String(), want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// bucketLine matches one exposition bucket sample of the named histogram.
+var bucketLine = regexp.MustCompile(`^(\w+)_bucket\{le="([^"]+)"\} (\d+)$`)
+
+// parseBuckets extracts (le, cumulative) pairs for one histogram, in
+// exposition order.
+func parseBuckets(t testing.TB, exposition, name string) (les []float64, cums []uint64) {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		m := bucketLine.FindStringSubmatch(line)
+		if m == nil || m[1] != name {
+			continue
+		}
+		le := math.Inf(1)
+		if m[2] != "+Inf" {
+			v, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				t.Fatalf("unparseable le %q: %v", m[2], err)
+			}
+			le = v
+		}
+		c, err := strconv.ParseUint(m[3], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable cumulative count %q: %v", m[3], err)
+		}
+		les = append(les, le)
+		cums = append(cums, c)
+	}
+	return les, cums
+}
+
+// TestHistogramExpositionOrdering pins the Prometheus exposition contract:
+// bucket lines appear in strictly ascending `le` order ending at +Inf,
+// their counts are cumulative (monotone nondecreasing), and the +Inf line
+// equals _count.
+func TestHistogramExpositionOrdering(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.Histogram("ord", "", []float64{0.001, 0.01, 0.1, 1, 10})
+	for _, v := range []float64{-1, 0.0005, 0.005, 0.005, 0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	les, cums := parseBuckets(t, sb.String(), "ord")
+	if len(les) != 6 {
+		t.Fatalf("%d bucket lines, want 5 bounds + +Inf:\n%s", len(les), sb.String())
+	}
+	for i := 1; i < len(les); i++ {
+		if les[i] <= les[i-1] {
+			t.Errorf("le order violated: %g after %g", les[i], les[i-1])
+		}
+		if cums[i] < cums[i-1] {
+			t.Errorf("cumulative count regressed: %d after %d at le=%g", cums[i], cums[i-1], les[i])
+		}
+	}
+	if !math.IsInf(les[len(les)-1], 1) {
+		t.Errorf("last bucket le=%g, want +Inf", les[len(les)-1])
+	}
+	if cums[len(cums)-1] != h.Count() {
+		t.Errorf("+Inf cumulative %d != count %d", cums[len(cums)-1], h.Count())
+	}
+}
+
+// histCase is one generated histogram workload.
+type histCase struct {
+	Bounds  []float64
+	Samples []float64
+}
+
+func genHistCase() check.Gen[histCase] {
+	return check.Gen[histCase]{
+		Generate: func(t *check.T) histCase {
+			nb := 1 + t.Rng.Intn(6)
+			c := histCase{Bounds: make([]float64, nb)}
+			edge := t.Rng.Float64()*10 - 5
+			for i := range c.Bounds {
+				c.Bounds[i] = edge
+				edge += 0.1 + t.Rng.Float64()*5
+			}
+			ns := 1 + t.Rng.Intn(30)
+			for i := 0; i < ns; i++ {
+				if t.Rng.Bernoulli(0.25) {
+					// Force edge-exact samples often: that is where
+					// upper-inclusive vs exclusive bugs live.
+					c.Samples = append(c.Samples, c.Bounds[t.Rng.Intn(nb)])
+				} else {
+					c.Samples = append(c.Samples, t.Rng.Float64()*40-20)
+				}
+			}
+			return c
+		},
+		Shrink: func(c histCase) []histCase {
+			var out []histCase
+			if len(c.Samples) > 1 {
+				m := c
+				m.Samples = c.Samples[:len(c.Samples)/2]
+				out = append(out, m)
+			}
+			if len(c.Bounds) > 1 {
+				m := c
+				m.Bounds = c.Bounds[:len(c.Bounds)-1]
+				out = append(out, m)
+			}
+			return out
+		},
+	}
+}
+
+// TestPropHistogramConservation is the metamorphic form of the exposition
+// contract: for arbitrary ascending bounds and samples (biased onto the
+// edges), every cumulative bucket equals a brute-force recount with `v <=
+// le`, and the +Inf bucket conserves all samples.
+func TestPropHistogramConservation(t *testing.T) {
+	t.Parallel()
+	seq := 0
+	check.Run(t, genHistCase(), func(c histCase) error {
+		seq++
+		r := NewRegistry()
+		name := fmt.Sprintf("prop%d", seq)
+		h := r.Histogram(name, "", c.Bounds)
+		for _, v := range c.Samples {
+			h.Observe(v)
+		}
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			return err
+		}
+		les, cums := parseBuckets(t, sb.String(), name)
+		if len(les) != len(c.Bounds)+1 {
+			return fmt.Errorf("%d bucket lines for %d bounds", len(les), len(c.Bounds))
+		}
+		for i, le := range les {
+			var want uint64
+			for _, v := range c.Samples {
+				if v <= le {
+					want++
+				}
+			}
+			if cums[i] != want {
+				return fmt.Errorf("bucket le=%g holds %d cumulative samples, recount says %d", le, cums[i], want)
+			}
+		}
+		if cums[len(cums)-1] != uint64(len(c.Samples)) {
+			return fmt.Errorf("+Inf bucket %d loses samples out of %d", cums[len(cums)-1], len(c.Samples))
+		}
+		return nil
+	})
+}
