@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench check loadsmoke ci
+.PHONY: all build fmt vet lint test race bench benchsmoke check loadsmoke parsmoke ci
 
 all: ci
 
@@ -37,8 +37,23 @@ race:
 
 # Compile-and-run smoke for every benchmark (one iteration each) so bench
 # code cannot rot without CI noticing.
-bench:
+benchsmoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Perf trajectory: time `odinsim all` sequentially (workers=1) vs on the
+# full GOMAXPROCS pool and record per-experiment ms + aggregate speedup in
+# BENCH_odinsim.json. Artefact bytes are identical either way (asserted by
+# the runner tests); only the wall clock moves.
+bench:
+	$(GO) run ./cmd/odinsim bench
+
+# Parallel-engine gate: race-check the fan-out primitive and the engine's
+# determinism/ordering tests, then run a multi-worker subset of real
+# drivers under the race detector end to end.
+parsmoke:
+	$(GO) test -race ./internal/par/...
+	$(GO) test -race -run 'TestRunAll|TestRunSelected' ./internal/experiments
+	$(GO) run -race ./cmd/odinsim -workers 4 tab1 fig3 fig4 overhead > /dev/null
 
 # Correctness harness (internal/check): first the deterministic
 # property+golden suite at the fixed default seed — the replayable gate —
@@ -57,4 +72,4 @@ loadsmoke:
 	$(GO) test -race ./internal/serve/...
 	$(GO) run ./cmd/odinserve replay -models VGG11,VGG11 -requests 200 -verify -max-shed 0
 
-ci: build fmt vet lint test race bench check loadsmoke
+ci: build fmt vet lint test race benchsmoke check loadsmoke parsmoke

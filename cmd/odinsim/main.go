@@ -2,115 +2,267 @@
 //
 // Usage:
 //
-//	odinsim list                 # list experiment ids
-//	odinsim all                  # run every experiment
-//	odinsim fig3 fig8 overhead   # run specific experiments
+//	odinsim list                  # list experiment ids
+//	odinsim all                   # run every experiment
+//	odinsim -workers 8 all        # same, on an 8-worker pool (same bytes)
+//	odinsim fig3 fig8 overhead    # run specific experiments
+//	odinsim all -json             # machine-readable, keys in paper order
+//	odinsim bench                 # time sequential vs parallel, write BENCH_odinsim.json
 //
-// Each experiment prints the rows/series of the corresponding table or
-// figure of "Odin: Learning to Optimize Operation Unit Configuration for
-// Energy-efficient DNN Inferencing" (DATE 2025). Output is deterministic.
+// Flags (-json, -workers N, -metrics, -out FILE) are recognised in any
+// argument position. Each experiment prints the rows/series of the
+// corresponding table or figure of "Odin: Learning to Optimize Operation
+// Unit Configuration for Energy-efficient DNN Inferencing" (DATE 2025).
+// Artefact output is deterministic and independent of the worker count;
+// only the "done in" progress timings vary run to run.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"odin/internal/clock"
 	"odin/internal/experiments"
+	"odin/internal/par"
+	"odin/internal/telemetry"
 )
 
 func main() {
-	if err := run(os.Args[1:], clock.NewReal()); err != nil {
+	if err := run(os.Stdout, os.Stderr, os.Args[1:], clock.NewReal()); err != nil {
 		fmt.Fprintln(os.Stderr, "odinsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, clk clock.Clock) error {
-	asJSON := false
-	if len(args) > 0 && (args[0] == "-json" || args[0] == "--json") {
-		asJSON = true
-		args = args[1:]
+// cliOptions are the flags accepted in any argument position.
+type cliOptions struct {
+	json    bool
+	metrics bool
+	workers int    // 0 = GOMAXPROCS
+	out     string // bench report path
+	help    bool
+}
+
+// parseArgs scans args for flags wherever they appear and returns the
+// remaining positional arguments in order. This is the regression fix for
+// "odinsim all -json": the old parser only honoured -json as the first
+// argument and treated it as an experiment id anywhere else.
+func parseArgs(args []string) (cliOptions, []string, error) {
+	opts := cliOptions{out: "BENCH_odinsim.json"}
+	var pos []string
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		name, val, hasVal := strings.Cut(arg, "=")
+		takesValue := func(flag string) (string, error) {
+			if hasVal {
+				return val, nil
+			}
+			if i+1 >= len(args) {
+				return "", fmt.Errorf("flag %s needs a value", flag)
+			}
+			i++
+			return args[i], nil
+		}
+		switch name {
+		case "-json", "--json":
+			opts.json = true
+		case "-metrics", "--metrics":
+			opts.metrics = true
+		case "-workers", "--workers":
+			v, err := takesValue(name)
+			if err != nil {
+				return opts, nil, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return opts, nil, fmt.Errorf("flag %s needs a positive integer, got %q", name, v)
+			}
+			opts.workers = n
+		case "-out", "--out":
+			v, err := takesValue(name)
+			if err != nil {
+				return opts, nil, err
+			}
+			opts.out = v
+		case "-h", "-help", "--help":
+			opts.help = true
+		default:
+			if strings.HasPrefix(arg, "-") {
+				return opts, nil, fmt.Errorf("unknown flag %s (try -h)", arg)
+			}
+			pos = append(pos, arg)
+		}
 	}
-	if len(args) == 0 {
-		usage()
+	return opts, pos, nil
+}
+
+func run(stdout, stderr io.Writer, args []string, clk clock.Clock) error {
+	opts, pos, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	if opts.help || (len(pos) == 1 && pos[0] == "help") {
+		usage(stdout)
+		return nil
+	}
+	if len(pos) == 0 {
+		usage(stdout)
 		return fmt.Errorf("no experiment selected")
 	}
-	if asJSON {
-		return runJSON(args)
-	}
-	switch args[0] {
+	switch pos[0] {
 	case "list":
-		for _, e := range experiments.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		if len(pos) > 1 {
+			return fmt.Errorf("list takes no further arguments")
 		}
-		return nil
-	case "all":
-		for _, e := range experiments.All() {
-			if err := runOne(e, clk); err != nil {
-				return err
+		return runList(stdout, opts)
+	case "bench":
+		return runBench(stdout, stderr, opts, pos[1:], clk)
+	}
+	ids := pos
+	if len(pos) == 1 && pos[0] == "all" {
+		ids = nil // every experiment, paper order
+	} else {
+		for _, id := range ids {
+			if id == "all" {
+				return fmt.Errorf("'all' cannot be combined with explicit experiment ids")
 			}
 		}
-		return nil
-	case "help", "-h", "--help":
-		usage()
-		return nil
 	}
-	for _, id := range args {
-		e, err := experiments.ByID(id)
-		if err != nil {
-			return err
-		}
-		if err := runOne(e, clk); err != nil {
-			return err
+	if opts.json {
+		return experiments.RunAllJSON(stdout, experiments.RunOptions{Workers: opts.workers, IDs: ids})
+	}
+	var reg *telemetry.Registry
+	if opts.metrics {
+		reg = telemetry.NewRegistry()
+	}
+	_, err = experiments.RunAll(stdout, experiments.RunOptions{
+		Workers:  opts.workers,
+		IDs:      ids,
+		Clock:    clk,
+		Registry: reg,
+	})
+	if err != nil {
+		return err
+	}
+	if reg != nil {
+		if werr := reg.WritePrometheus(stderr); werr != nil {
+			return werr
 		}
 	}
 	return nil
 }
 
-// runOne reports progress timing through the injected clock: real in the
-// binary, virtual in tests, never read directly (the internal/clock package
-// carries the project's single sanctioned wall-clock read).
-func runOne(e experiments.Experiment, clk clock.Clock) error {
-	fmt.Printf("==> %s (%s)\n", e.Title, e.ID)
-	start := clk.Now()
-	if err := e.Run(os.Stdout); err != nil {
-		return fmt.Errorf("%s: %w", e.ID, err)
-	}
-	fmt.Printf("<== %s done in %.3fs\n\n", e.ID, clk.Now()-start)
-	return nil
-}
-
-// runJSON emits a {"id": result, ...} object for the selected experiments.
-func runJSON(ids []string) error {
-	if len(ids) == 1 && ids[0] == "all" {
-		ids = nil
+// runList prints the experiment ids, as a table or (with -json) as a JSON
+// array in paper order. The old CLI fell through to ByID("list") when -json
+// preceded list and died with "unknown experiment".
+func runList(stdout io.Writer, opts cliOptions) error {
+	if opts.json {
+		type entry struct {
+			ID    string `json:"id"`
+			Title string `json:"title"`
+		}
+		var out []entry
 		for _, e := range experiments.All() {
-			ids = append(ids, e.ID)
+			out = append(out, entry{ID: e.ID, Title: e.Title})
 		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
 	}
-	out := make(map[string]any, len(ids))
-	for _, id := range ids {
-		e, err := experiments.ByID(id)
-		if err != nil {
-			return err
-		}
-		data, err := e.Data()
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		out[id] = data
+	for _, e := range experiments.All() {
+		fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return nil
 }
 
-func usage() {
-	fmt.Println("usage: odinsim [-json] list | all | <experiment-id>...")
-	fmt.Println("experiments:")
+// benchReport is the BENCH_odinsim.json schema: wall-clock of the
+// sequential (workers=1) engine vs the parallel pool, per experiment and
+// in aggregate. Milliseconds, like the serve bench trajectory.
+type benchReport struct {
+	Bench        string           `json:"bench"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	Workers      int              `json:"workers"`
+	SequentialMS float64          `json:"sequential_ms"`
+	ParallelMS   float64          `json:"parallel_ms"`
+	Speedup      float64          `json:"speedup"`
+	Experiments  []benchExpReport `json:"experiments"`
+}
+
+type benchExpReport struct {
+	ID           string  `json:"id"`
+	SequentialMS float64 `json:"sequential_ms"`
+	ParallelMS   float64 `json:"parallel_ms"`
+}
+
+// runBench times the experiment engine sequentially (workers=1) and on the
+// full pool, writes the comparison to opts.out, and prints a short summary.
+// Rendered artefact output is discarded; only timings are kept.
+func runBench(stdout, stderr io.Writer, opts cliOptions, ids []string, clk clock.Clock) error {
+	workers := par.Workers(opts.workers)
+	fmt.Fprintf(stderr, "bench: sequential pass (workers=1)\n")
+	seq, err := experiments.RunAll(io.Discard, experiments.RunOptions{Workers: 1, IDs: ids, Clock: clk})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "bench: parallel pass (workers=%d)\n", workers)
+	var reg *telemetry.Registry
+	if opts.metrics {
+		reg = telemetry.NewRegistry()
+	}
+	parRep, err := experiments.RunAll(io.Discard, experiments.RunOptions{
+		Workers: workers, IDs: ids, Clock: clk, Registry: reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	rep := benchReport{
+		Bench:        "odinsim_all",
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      workers,
+		SequentialMS: seq.WallSeconds * 1e3,
+		ParallelMS:   parRep.WallSeconds * 1e3,
+	}
+	if parRep.WallSeconds > 0 {
+		rep.Speedup = seq.WallSeconds / parRep.WallSeconds
+	}
+	parByID := map[string]float64{}
+	for _, t := range parRep.Timings {
+		parByID[t.ID] = t.Seconds
+	}
+	for _, t := range seq.Timings {
+		rep.Experiments = append(rep.Experiments, benchExpReport{
+			ID:           t.ID,
+			SequentialMS: t.Seconds * 1e3,
+			ParallelMS:   parByID[t.ID] * 1e3,
+		})
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(opts.out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "odinsim bench: sequential %.0f ms, parallel %.0f ms (workers=%d, speedup %.2fx) -> %s\n",
+		rep.SequentialMS, rep.ParallelMS, rep.Workers, rep.Speedup, opts.out)
+	if reg != nil {
+		if err := reg.WritePrometheus(stderr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: odinsim [-json] [-workers N] [-metrics] list | all | bench [-out FILE] | <experiment-id>...")
+	fmt.Fprintln(w, "experiments:")
 	for _, e := range experiments.All() {
-		fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		fmt.Fprintf(w, "  %-10s %s\n", e.ID, e.Title)
 	}
 }

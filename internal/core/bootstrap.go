@@ -6,6 +6,7 @@ import (
 
 	"odin/internal/dnn"
 	"odin/internal/mlp"
+	"odin/internal/par"
 	"odin/internal/policy"
 	"odin/internal/search"
 )
@@ -53,24 +54,45 @@ func (c BootstrapConfig) withDefaults() BootstrapConfig {
 // exhaustive search over the OU grid at each configured device age. The
 // result is capped at cfg.MaxExamples by uniform striding so every model
 // and age stays represented.
+//
+// The model×age grid is evaluated in parallel: workloads are prepared one
+// shard per model (each model is a distinct instance, and pruning draws
+// come from rng streams labelled by model/layer name, so draws are
+// independent of scheduling), then every (model, age) cell collects its
+// examples into its own shard. Concatenating the shards in cell order
+// reproduces the sequential model-major append order exactly, so the
+// example set — and every policy trained from it — is byte-identical at
+// any worker count.
 func CollectExamples(sys System, models []*dnn.Model, cfg BootstrapConfig) ([]policy.Example, error) {
 	cfg = cfg.withDefaults()
 	grid := sys.Grid()
-	var all []policy.Example
-	for _, m := range models {
-		wl, err := sys.Prepare(m)
+	wls := make([]*Workload, len(models))
+	if err := par.ForEach(0, len(models), func(i int) error {
+		wl, err := sys.Prepare(models[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: preparing %s: %w", m.Name, err)
+			return fmt.Errorf("core: preparing %s: %w", models[i].Name, err)
 		}
-		for _, age := range cfg.Times {
-			for j := 0; j < wl.Layers(); j++ {
-				res := search.Exhaustive(grid, sys.objective(wl, j, age))
-				if !res.Found {
-					continue // no feasible size at this age — nothing to teach
-				}
-				all = append(all, policy.Example{F: wl.FeaturesAt(j, age), Target: res.Best})
+		wls[i] = wl
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	shards := make([][]policy.Example, len(models)*len(cfg.Times))
+	par.Each(0, len(shards), func(cell int) {
+		wl := wls[cell/len(cfg.Times)]
+		age := cfg.Times[cell%len(cfg.Times)]
+		for j := 0; j < wl.Layers(); j++ {
+			res := search.Exhaustive(grid, sys.objective(wl, j, age))
+			if !res.Found {
+				continue // no feasible size at this age — nothing to teach
 			}
+			shards[cell] = append(shards[cell], policy.Example{F: wl.FeaturesAt(j, age), Target: res.Best})
 		}
+	})
+	var all []policy.Example
+	for _, shard := range shards {
+		all = append(all, shard...)
 	}
 	if len(all) > cfg.MaxExamples {
 		stride := float64(len(all)) / float64(cfg.MaxExamples)

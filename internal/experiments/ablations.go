@@ -7,8 +7,14 @@ import (
 	"odin/internal/core"
 	"odin/internal/dnn"
 	"odin/internal/mlp"
+	"odin/internal/par"
 	"odin/internal/policy"
 )
+
+// The sweeps below are embarrassingly parallel: every grid point runs a
+// freshly bootstrapped controller (or a fresh workload) against its own
+// copy of the system, so each par.ForEach body writes only its rows[i]
+// shard and the rendered tables are byte-identical at any worker count.
 
 // The ablations quantify the design choices DESIGN.md §4 calls out. They are
 // not paper artefacts; they answer "was this knob set sensibly" questions a
@@ -78,19 +84,23 @@ func AblSearchK(sys core.System, ks []int) (AblSearchKResult, error) {
 	}
 
 	layers := len(dnn.NewVGG11().Layers)
-	for _, k := range ks {
+	res.Rows = make([]AblSearchKRow, len(ks))
+	if err := par.ForEach(0, len(ks), func(i int) error {
 		opts := core.DefaultControllerOptions()
-		opts.SearchK = k
+		opts.SearchK = ks[i]
 		sum, _, err := odinSummaryFor(sys, res.Model, opts, cfg)
 		if err != nil {
-			return res, err
+			return err
 		}
-		res.Rows = append(res.Rows, AblSearchKRow{
-			K:               k,
+		res.Rows[i] = AblSearchKRow{
+			K:               ks[i],
 			EvalsPerLayer:   float64(sum.SearchEvaluations) / float64(cfg.Epochs*layers),
 			EDPvsExhaustive: sum.TotalEDP() / exSum.TotalEDP(),
 			Reprograms:      sum.Reprograms,
-		})
+		}
+		return nil
+	}); err != nil {
+		return AblSearchKResult{Model: res.Model}, err
 	}
 	return res, nil
 }
@@ -136,22 +146,26 @@ func AblBuffer(sys core.System, capacities []int) (AblBufferResult, error) {
 		capacities = []int{10, 25, 50, 100, 200}
 	}
 	cfg := ablationHorizon()
-	res := AblBufferResult{Model: "VGG16"}
+	res := AblBufferResult{Model: "VGG16", Rows: make([]AblBufferRow, len(capacities))}
 	arch := sys.Arch
-	for _, capacity := range capacities {
+	if err := par.ForEach(0, len(capacities), func(i int) error {
+		capacity := capacities[i]
 		opts := core.DefaultControllerOptions()
 		opts.BufferSize = capacity
 		sum, ctrl, err := odinSummaryFor(sys, res.Model, opts, cfg)
 		if err != nil {
-			return res, err
+			return err
 		}
 		o := arch.OverheadModel(0, capacity, opts.UpdateEpochs)
-		res.Rows = append(res.Rows, AblBufferRow{
+		res.Rows[i] = AblBufferRow{
 			Capacity:      capacity,
 			PolicyUpdates: ctrl.PolicyUpdates(),
 			EDP:           sum.TotalEDP(),
 			StorageKB:     o.TrainingBufferKB,
-		})
+		}
+		return nil
+	}); err != nil {
+		return AblBufferResult{Model: res.Model}, err
 	}
 	return res, nil
 }
@@ -197,20 +211,23 @@ func AblEta(base core.System, etas []float64) (AblEtaResult, error) {
 		etas = []float64{0.0025, 0.005, 0.01, 0.02}
 	}
 	cfg := ablationHorizon()
-	res := AblEtaResult{Model: "ResNet18"}
-	for _, eta := range etas {
+	res := AblEtaResult{Model: "ResNet18", Rows: make([]AblEtaRow, len(etas))}
+	if err := par.ForEach(0, len(etas), func(i int) error {
 		sys := base
-		sys.Acc.Eta = eta
+		sys.Acc.Eta = etas[i]
 		sum, _, err := odinSummaryFor(sys, res.Model, core.DefaultControllerOptions(), cfg)
 		if err != nil {
-			return res, err
+			return err
 		}
-		res.Rows = append(res.Rows, AblEtaRow{
-			Eta:        eta,
+		res.Rows[i] = AblEtaRow{
+			Eta:        etas[i],
 			EDP:        sum.TotalEDP(),
 			MinAcc:     sum.MinAccuracy,
 			Reprograms: sum.Reprograms,
-		})
+		}
+		return nil
+	}); err != nil {
+		return AblEtaResult{Model: res.Model}, err
 	}
 	return res, nil
 }
@@ -256,29 +273,32 @@ func AblRate(sys core.System, rates []float64) (AblRateResult, error) {
 	if len(rates) == 0 {
 		rates = []float64{1e-5, 1e-4, 2e-4, 1e-3, 1e-2}
 	}
-	res := AblRateResult{Model: "VGG11"}
-	for _, rate := range rates {
+	res := AblRateResult{Model: "VGG11", Rows: make([]AblRateRow, len(rates))}
+	if err := par.ForEach(0, len(rates), func(i int) error {
 		cfg := ablationHorizon()
-		cfg.InferenceRate = rate
+		cfg.InferenceRate = rates[i]
 
 		odinSum, _, err := odinSummaryFor(sys, res.Model, core.DefaultControllerOptions(), cfg)
 		if err != nil {
-			return res, err
+			return err
 		}
 		wl, err := sys.Prepare(dnn.NewVGG11())
 		if err != nil {
-			return res, err
+			return err
 		}
 		b, err := core.NewBaseline(sys, wl, core.StandardBaselineSizes()[0])
 		if err != nil {
-			return res, err
+			return err
 		}
 		baseSum := core.SimulateHorizon(b, cfg)
-		res.Rows = append(res.Rows, AblRateRow{
-			Rate:        rate,
+		res.Rows[i] = AblRateRow{
+			Rate:        rates[i],
 			EDPRatio:    baseSum.TotalEDP() / odinSum.TotalEDP(),
 			EnergyRatio: baseSum.TotalEnergy() / odinSum.TotalEnergy(),
-		})
+		}
+		return nil
+	}); err != nil {
+		return AblRateResult{Model: res.Model}, err
 	}
 	return res, nil
 }
@@ -323,13 +343,14 @@ func AblCluster(base core.System, widths []int) (AblClusterResult, error) {
 	if len(widths) == 0 {
 		widths = []int{4, 8, 16, 32, 64}
 	}
-	res := AblClusterResult{Model: "VGG11"}
-	for _, width := range widths {
+	res := AblClusterResult{Model: "VGG11", Rows: make([]AblClusterRow, len(widths))}
+	if err := par.ForEach(0, len(widths), func(i int) error {
+		width := widths[i]
 		sys := base
 		sys.Sparsity.ClusterWidth = width
 		wl, err := sys.Prepare(dnn.NewVGG11())
 		if err != nil {
-			return res, err
+			return err
 		}
 		sizes := bestSizes(sys, wl, sys.Device.T0)
 		var sumC, sumR, sumEDP float64
@@ -340,12 +361,15 @@ func AblCluster(base core.System, widths []int) (AblClusterResult, error) {
 			sumEDP += obj.EDP(s)
 		}
 		n := float64(len(sizes))
-		res.Rows = append(res.Rows, AblClusterRow{
+		res.Rows[i] = AblClusterRow{
 			Width:        width,
 			MeanOUWidth:  sumC / n,
 			MeanOUHeight: sumR / n,
 			MeanEDP:      sumEDP / n,
-		})
+		}
+		return nil
+	}); err != nil {
+		return AblClusterResult{Model: res.Model}, err
 	}
 	return res, nil
 }
@@ -401,7 +425,11 @@ func AblPolicy(sys core.System, hiddens [][]int) (AblPolicyResult, error) {
 	if err != nil {
 		return res, err
 	}
-	for _, hidden := range hiddens {
+	// Each trunk trains its own fresh policy; the shared example slices are
+	// read-only (mlp.Train visits them through a private permutation).
+	res.Rows = make([]AblPolicyRow, len(hiddens))
+	if err := par.ForEach(0, len(hiddens), func(i int) error {
+		hidden := hiddens[i]
 		cfg := policy.Config{Grid: sys.Grid(), Seed: 1}
 		name := "linear"
 		if len(hidden) > 0 {
@@ -412,15 +440,18 @@ func AblPolicy(sys core.System, hiddens [][]int) (AblPolicyResult, error) {
 		}
 		pol := policy.New(cfg)
 		if _, err := pol.Train(examples, mlp.TrainOptions{Epochs: 300, Seed: 1}); err != nil {
-			return res, err
+			return err
 		}
 		o := sys.Arch.OverheadModel(pol.NumParams(), 50, 100)
-		res.Rows = append(res.Rows, AblPolicyRow{
+		res.Rows[i] = AblPolicyRow{
 			Name:      name,
 			Params:    pol.NumParams(),
 			Agreement: pol.Agreement(heldOut),
 			PowerMW:   o.PredictPower * 1e3,
-		})
+		}
+		return nil
+	}); err != nil {
+		return AblPolicyResult{HeldOutModel: res.HeldOutModel}, err
 	}
 	return res, nil
 }

@@ -9,24 +9,27 @@ import (
 	"odin/internal/core"
 	"odin/internal/dnn"
 	"odin/internal/ou"
+	"odin/internal/par"
 	"odin/internal/search"
 )
 
 // bestSizes returns the constrained EDP-optimal OU size for every layer of
 // the workload at the given device age (exhaustive search — the optimum
 // Odin's online loop converges to). Layers with no feasible size fall back
-// to the smallest grid size, mirroring the controller.
+// to the smallest grid size, mirroring the controller. Layers are searched
+// in parallel: each objective only reads sys/wl and each goroutine writes
+// only sizes[j], so the result is worker-count independent.
 func bestSizes(sys core.System, wl *core.Workload, age float64) []ou.Size {
 	grid := sys.Grid()
 	sizes := make([]ou.Size, wl.Layers())
-	for j := range sizes {
+	par.Each(0, len(sizes), func(j int) {
 		res := search.Exhaustive(grid, core.LayerObjective(sys, wl, j, age))
 		if res.Found {
 			sizes[j] = res.Best
 		} else {
 			sizes[j] = grid.SizeAt(0, 0)
 		}
-	}
+	})
 	return sizes
 }
 
@@ -114,18 +117,25 @@ func Fig4(sys core.System, ages []float64) (Fig4Result, error) {
 	if err != nil {
 		return Fig4Result{}, err
 	}
-	res := Fig4Result{Model: model.Name, Ages: ages}
-	for _, age := range ages {
-		sizes := bestSizes(sys, wl, age)
+	res := Fig4Result{
+		Model:       model.Name,
+		Ages:        ages,
+		Counts:      make([]map[string]int, len(ages)),
+		MeanProduct: make([]float64, len(ages)),
+	}
+	// Index-sharded age sweep: each goroutine fills only res.Counts[i] /
+	// res.MeanProduct[i], so the histogram is identical at any worker count.
+	par.Each(0, len(ages), func(i int) {
+		sizes := bestSizes(sys, wl, ages[i])
 		counts := make(map[string]int)
 		total := 0
 		for _, s := range sizes {
 			counts[s.String()]++
 			total += s.Product()
 		}
-		res.Counts = append(res.Counts, counts)
-		res.MeanProduct = append(res.MeanProduct, float64(total)/float64(len(sizes)))
-	}
+		res.Counts[i] = counts
+		res.MeanProduct[i] = float64(total) / float64(len(sizes))
+	})
 	return res, nil
 }
 

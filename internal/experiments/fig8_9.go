@@ -6,6 +6,7 @@ import (
 
 	"odin/internal/core"
 	"odin/internal/dnn"
+	"odin/internal/par"
 )
 
 // Fig8Row is one workload's normalised EDP bars.
@@ -31,7 +32,12 @@ type Fig8Result struct {
 }
 
 // Fig8 runs every zoo workload with Odin and the four homogeneous
-// baselines, applying the leave-one-out bootstrap per workload.
+// baselines, applying the leave-one-out bootstrap per workload. Workloads
+// are simulated in parallel (each goroutine fills only rows[i]; every
+// horizon gets its own freshly prepared workload and bootstrapped
+// controller); the mean/max reductions are then reduced over the rows in
+// workload order, so the rounding — and the rendered bytes — match the
+// sequential loop exactly.
 func Fig8(sys core.System) (Fig8Result, error) {
 	cfg := defaultHorizon()
 	res := Fig8Result{MeanReduction: map[string]float64{}}
@@ -40,7 +46,10 @@ func Fig8(sys core.System) (Fig8Result, error) {
 		baselineNames = append(baselineNames, s.String())
 	}
 
-	for _, model := range dnn.AllWorkloads() {
+	models := dnn.AllWorkloads()
+	rows := make([]Fig8Row, len(models))
+	if err := par.ForEach(0, len(models), func(i int) error {
+		model := models[i]
 		row := Fig8Row{
 			Workload:        model.Name,
 			Dataset:         model.Dataset.Name,
@@ -48,30 +57,40 @@ func Fig8(sys core.System) (Fig8Result, error) {
 			ReductionVsOdin: map[string]float64{},
 		}
 		var norm float64
-		for i, size := range core.StandardBaselineSizes() {
+		for bi, size := range core.StandardBaselineSizes() {
 			wl, err := sys.Prepare(cloneOf(model.Name))
 			if err != nil {
-				return res, err
+				return err
 			}
 			b, err := core.NewBaseline(sys, wl, size)
 			if err != nil {
-				return res, err
+				return err
 			}
 			sum := core.SimulateHorizon(b, cfg)
-			if i == 0 {
+			if bi == 0 {
 				norm = sum.InferenceEDP()
 			}
 			row.EDP[size.String()] = sum.TotalEDP() / norm
 		}
 		ctrl, _, err := bootstrapFor(sys, model)
 		if err != nil {
-			return res, err
+			return err
 		}
 		odin := core.SimulateHorizon(ctrl, cfg)
 		row.EDP["Odin"] = odin.TotalEDP() / norm
 		for _, name := range baselineNames {
 			red := row.EDP[name] / row.EDP["Odin"]
 			row.ReductionVsOdin[name] = red
+		}
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return res, err
+	}
+
+	for _, row := range rows {
+		for _, name := range baselineNames {
+			red := row.ReductionVsOdin[name]
 			res.MeanReduction[name] += red
 			if red > res.MaxReduction {
 				res.MaxReduction = red
@@ -146,14 +165,17 @@ func Fig9(base core.System, sizes []int) (Fig9Result, error) {
 		sizes = []int{128, 64, 32}
 	}
 	cfg := defaultHorizon()
-	res := Fig9Result{Model: "ResNet34"}
-	for _, xb := range sizes {
+	res := Fig9Result{Model: "ResNet34", Rows: make([]Fig9Row, len(sizes))}
+	// Index-sharded crossbar-size sweep: each goroutine scales its own copy
+	// of the base system and writes only res.Rows[i].
+	if err := par.ForEach(0, len(sizes), func(i int) error {
+		xb := sizes[i]
 		sys := base.WithCrossbarSize(xb)
 		row := Fig9Row{CrossbarSize: xb, Ratios: map[string]float64{}}
 
 		ctrl, _, err := bootstrapFor(sys, dnn.NewResNet34())
 		if err != nil {
-			return res, err
+			return err
 		}
 		odin := core.SimulateHorizon(ctrl, cfg)
 
@@ -163,11 +185,11 @@ func Fig9(base core.System, sizes []int) (Fig9Result, error) {
 			}
 			wl, err := sys.Prepare(dnn.NewResNet34())
 			if err != nil {
-				return res, err
+				return err
 			}
 			b, err := core.NewBaseline(sys, wl, size)
 			if err != nil {
-				return res, err
+				return err
 			}
 			sum := core.SimulateHorizon(b, cfg)
 			ratio := sum.TotalEDP() / odin.TotalEDP()
@@ -176,7 +198,10 @@ func Fig9(base core.System, sizes []int) (Fig9Result, error) {
 				row.MaxRatio = ratio
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	}); err != nil {
+		return Fig9Result{Model: res.Model}, err
 	}
 	return res, nil
 }

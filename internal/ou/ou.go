@@ -92,7 +92,12 @@ func (g Grid) Sizes() []Size {
 
 // NearestIndex returns the level index whose dimension is closest to dim
 // (used to snap non-grid baselines such as 9×8 onto the learnable grid when
-// needed).
+// needed). The grid is square by construction — a single
+// [MinLevel, MaxLevel] range shared by both axes — so NearestIndex is
+// axis-agnostic: callers snapping a Size apply it to R and C independently
+// (search.ResourceBounded, search.ClampFeasible) and cannot mix up axes.
+// If Grid ever grows per-axis level ranges, this must split into
+// NearestRowIndex/NearestColIndex and those call sites must be revisited.
 func (g Grid) NearestIndex(dim int) int {
 	best, bestDist := 0, math.MaxFloat64
 	for idx := 0; idx < g.Levels(); idx++ {

@@ -1,0 +1,91 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	t.Parallel()
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 100
+		counts := make([]atomic.Int64, n)
+		if err := ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachShardedResultsMatchSequential(t *testing.T) {
+	t.Parallel()
+	const n = 64
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 5} {
+		out := make([]int, n)
+		if err := ForEach(workers, n, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachReturnsSmallestIndexError(t *testing.T) {
+	t.Parallel()
+	fail := map[int]bool{3: true, 7: true, 11: true}
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(workers, 16, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want the index-3 failure", workers, err)
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	t.Parallel()
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	ran := 0
+	if err := ForEach(4, 1, func(i int) error { ran++; return nil }); err != nil || ran != 1 {
+		t.Fatalf("n=1: ran=%d err=%v", ran, err)
+	}
+}

@@ -158,6 +158,139 @@ func TestPropResourceBoundedBudgetAndLegality(t *testing.T) {
 	})
 }
 
+// offGridCase is a generated snap problem: a crossbar size (fixing the
+// grid's level count: 32→4, 64→5, 128+→6 levels), an arbitrary —
+// usually off-grid and asymmetric (R≠C) — start size, and a walk budget.
+// It drives the audit of the NearestIndex call sites: ou.Grid is square
+// by construction, so snapping per axis with the shared level set can
+// never cross the R/C axes.
+type offGridCase struct {
+	Crossbar       int // index into offGridCrossbars
+	StartR, StartC int // raw dimensions, NOT level indices
+	Layer, Total   int
+	AgeExp         float64
+	K              int
+}
+
+var offGridCrossbars = []int{32, 64, 128, 256}
+
+func genOffGridCase() check.Gen[offGridCase] {
+	return check.Gen[offGridCase]{
+		Generate: func(t *check.T) offGridCase {
+			total := 1 + t.Rng.Intn(12)
+			return offGridCase{
+				Crossbar: t.Rng.Intn(len(offGridCrossbars)),
+				StartR:   1 + t.Rng.Intn(300),
+				StartC:   1 + t.Rng.Intn(300),
+				Layer:    t.Rng.Intn(total), Total: total,
+				AgeExp: t.Rng.Float64() * 8,
+				K:      1 + t.Rng.Intn(5),
+			}
+		},
+		Shrink: func(c offGridCase) []offGridCase {
+			var out []offGridCase
+			mutInt := func(v, toward int, set func(*offGridCase, int)) {
+				for _, s := range check.ShrinkInt(v, toward) {
+					m := c
+					set(&m, s)
+					out = append(out, m)
+				}
+			}
+			mutInt(c.Crossbar, 0, func(m *offGridCase, v int) { m.Crossbar = v })
+			mutInt(c.StartR, 1, func(m *offGridCase, v int) { m.StartR = v })
+			mutInt(c.StartC, 1, func(m *offGridCase, v int) { m.StartC = v })
+			mutInt(c.K, 1, func(m *offGridCase, v int) { m.K = v })
+			if c.Total > 1 {
+				m := c
+				m.Total, m.Layer = 1, 0
+				out = append(out, m)
+			}
+			for _, s := range check.ShrinkFloat(c.AgeExp, 0) {
+				m := c
+				m.AgeExp = s
+				out = append(out, m)
+			}
+			return out
+		},
+	}
+}
+
+// TestPropOffGridStartSnapsPerAxis audits every NearestIndex call site
+// against off-grid, asymmetric starts on grids of every level count:
+//
+//   - NearestIndex itself matches a brute-force per-axis nearest over the
+//     grid's level values (the axes share one level set, so snapping R and
+//     C independently cannot cross axes);
+//   - ResourceBounded from any off-grid start stays on budget, returns
+//     only legal feasible grid points, and honours the snapped incumbent
+//     when the snap is feasible;
+//   - ClampFeasible from an off-grid start never grows beyond the snapped
+//     size on either axis.
+func TestPropOffGridStartSnapsPerAxis(t *testing.T) {
+	t.Parallel()
+	acc, cm, _ := propFixtures()
+	check.Run(t, genOffGridCase(), func(c offGridCase) error {
+		grid := ou.DefaultGrid(offGridCrossbars[c.Crossbar])
+		o := Objective{
+			Cost:  cm,
+			Work:  ou.LayerWork{Xbars: 2, RowsUsed: 100, ColsUsed: 80},
+			Acc:   acc,
+			Layer: c.Layer,
+			Of:    c.Total,
+			Time:  acc.Device.T0 * math.Pow(10, c.AgeExp),
+		}
+		// Brute-force per-axis nearest: the level values are 2^(MinLevel+i).
+		nearest := func(dim int) int {
+			best, bestDist := 0, math.MaxFloat64
+			for idx := 0; idx < grid.Levels(); idx++ {
+				if d := math.Abs(float64(dim - 1<<(grid.MinLevel+idx))); d < bestDist {
+					best, bestDist = idx, d
+				}
+			}
+			return best
+		}
+		for _, dim := range []int{c.StartR, c.StartC} {
+			if got, want := grid.NearestIndex(dim), nearest(dim); got != want {
+				return fmt.Errorf("NearestIndex(%d) = %d, want brute-force %d on %d-level grid",
+					dim, got, want, grid.Levels())
+			}
+		}
+		snap := grid.SizeAt(grid.NearestIndex(c.StartR), grid.NearestIndex(c.StartC))
+
+		start := ou.Size{R: c.StartR, C: c.StartC}
+		res := ResourceBounded(grid, o, start, c.K)
+		if res.Evaluations < 1 || res.Evaluations > 1+4*c.K {
+			return fmt.Errorf("RB evaluations %d outside [1, 1+4·%d] from off-grid start %v", res.Evaluations, c.K, start)
+		}
+		if res.Found {
+			if _, _, ok := grid.IndexOf(res.Best); !ok {
+				return fmt.Errorf("RB returned off-grid size %v from start %v", res.Best, start)
+			}
+			if !o.Feasible(res.Best) {
+				return fmt.Errorf("RB returned infeasible size %v from start %v", res.Best, start)
+			}
+		}
+		if o.Feasible(snap) {
+			if !res.Found {
+				return fmt.Errorf("RB lost the feasible snapped start %v (raw %v)", snap, start)
+			}
+			if res.BestEDP > o.EDP(snap)*(1+1e-12) {
+				return fmt.Errorf("RB regressed below the snapped incumbent: best %v EDP %g vs snap %v EDP %g",
+					res.Best, res.BestEDP, snap, o.EDP(snap))
+			}
+		}
+
+		got := ClampFeasible(grid, o, start)
+		if _, _, ok := grid.IndexOf(got); !ok {
+			return fmt.Errorf("ClampFeasible returned off-grid size %v from start %v", got, start)
+		}
+		if got.R > snap.R || got.C > snap.C {
+			return fmt.Errorf("ClampFeasible grew beyond the snap: %v from snap %v (raw start %v)", got, snap, start)
+		}
+		return nil
+	})
+}
+
 // TestPropClampFeasibleContract pins the drift-shrink move: the result is
 // always a grid point; it is feasible whenever any grid size is; a feasible
 // on-grid start is returned unchanged; and the walk only ever shrinks.

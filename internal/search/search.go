@@ -105,7 +105,10 @@ func Exhaustive(g ou.Grid, o Objective) Result {
 func ResourceBounded(g ou.Grid, o Objective, start ou.Size, k int) Result {
 	rIdx, cIdx, ok := g.IndexOf(start)
 	if !ok {
-		// Snap off-grid predictions to the nearest grid point.
+		// Snap off-grid predictions to the nearest grid point, one axis at
+		// a time. The level set is shared by both axes (ou.Grid is square
+		// by construction), so per-axis NearestIndex cannot cross R/C —
+		// see the off-grid property test in props_test.go.
 		rIdx, cIdx = g.NearestIndex(start.R), g.NearestIndex(start.C)
 	}
 	res := Result{BestEDP: math.Inf(1)}
