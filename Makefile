@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench benchsmoke check loadsmoke parsmoke ci
+.PHONY: all build fmt vet lint test race bench benchsmoke check loadsmoke parsmoke obssmoke ci
 
 all: ci
 
@@ -72,4 +72,17 @@ loadsmoke:
 	$(GO) test -race ./internal/serve/...
 	$(GO) run ./cmd/odinserve replay -models VGG11,VGG11 -requests 200 -verify -max-shed 0
 
-ci: build fmt vet lint test race benchsmoke check loadsmoke parsmoke
+# Observability gate: race-check the span/audit/telemetry layers and their
+# wiring (byte-identical replay traces), arm the disabled-overhead guard
+# (see obs_guard_test.go; the nil fast path must stay a pointer test), and
+# run one traced simulation end to end to keep `odinsim trace` honest.
+obssmoke:
+	$(GO) test -race ./internal/obs/... ./internal/telemetry/...
+	$(GO) test -race -run 'TestReplayTraceByteIdentical|TestHandlerDebugEndpoints' ./internal/serve
+	$(GO) test -race -run 'TestControllerAudit|TestControllerSpans' ./internal/core
+	ODIN_OBS_GUARD=1 $(GO) test -count=1 -run TestDisabledObsOverheadGuard .
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/odinsim trace -model resnet18 -runs 4 -out $$tmp/trace.json > /dev/null && \
+	rm -rf $$tmp
+
+ci: build fmt vet lint test race benchsmoke check loadsmoke parsmoke obssmoke

@@ -13,17 +13,25 @@
 // logs are byte-identical — the determinism contract `make loadsmoke`
 // enforces in CI.
 //
-// serve exposes the fleet over HTTP via serve.NewHandler:
+// replay -trace FILE additionally records the full span tree (batches,
+// requests, controller runs/layers) and writes it as Chrome trace-event
+// JSON, loadable in chrome://tracing or Perfetto. The dump is byte-identical
+// for a given trace and seed regardless of -workers.
+//
+// serve exposes the fleet over HTTP via serve.NewHandlerOpts:
 //
 //	POST /infer              JSON body {"model":NAME,"count":N} or ?model=NAME
 //	GET  /metrics            Prometheus text exposition
 //	GET  /healthz            liveness probe
+//	GET  /debug/trace        Chrome trace-event span ring dump (-trace N)
+//	GET  /debug/pprof/       net/http/pprof suite (only with -debug)
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,6 +41,7 @@ import (
 	"odin/internal/clock"
 	"odin/internal/core"
 	"odin/internal/dnn"
+	"odin/internal/obs"
 	"odin/internal/policy"
 	"odin/internal/serve"
 	"odin/internal/telemetry"
@@ -139,6 +148,7 @@ func runReplay(args []string) error {
 	verify := fs.Bool("verify", false, "replay twice on fresh fleets; fail unless decision logs are byte-identical")
 	maxShed := fs.Int("max-shed", -1, "fail when more than this many requests shed (-1 = no check)")
 	dumpLog := fs.Bool("log", false, "print the per-request decision log")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON span dump of the replay to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,7 +176,7 @@ func runReplay(args []string) error {
 		return err
 	}
 
-	res, err := replayFresh(cfg, tr)
+	res, spans, err := replayFresh(cfg, tr, *traceOut != "")
 	if err != nil {
 		return err
 	}
@@ -180,9 +190,23 @@ func runReplay(args []string) error {
 			return err
 		}
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := spans.WriteChromeTrace(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d spans written to %s\n", spans.Len(), *traceOut)
+	}
 
 	if *verify {
-		again, err := replayFresh(cfg, tr)
+		again, _, err := replayFresh(cfg, tr, false)
 		if err != nil {
 			return err
 		}
@@ -198,39 +222,55 @@ func runReplay(args []string) error {
 }
 
 // replayFresh builds a fresh fleet (its own virtual clock and registry) and
-// replays the trace through it.
-func replayFresh(cfg serve.Config, tr serve.Trace) (serve.ReplayResult, error) {
+// replays the trace through it, optionally recording spans.
+func replayFresh(cfg serve.Config, tr serve.Trace, traced bool) (serve.ReplayResult, *obs.Tracer, error) {
 	clk := clock.NewVirtual(0)
 	cfg.Clock = clk
 	cfg.Registry = telemetry.NewRegistry()
+	if traced {
+		cfg.Tracer = obs.New(clk)
+	}
 	s, err := serve.NewServer(cfg)
 	if err != nil {
-		return serve.ReplayResult{}, err
+		return serve.ReplayResult{}, nil, err
 	}
 	s.Start()
-	return serve.Replay(s, clk, tr), nil
+	return serve.Replay(s, clk, tr), cfg.Tracer, nil
 }
 
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("odinserve serve", flag.ContinueOnError)
 	fleet := addFleetFlags(fs)
 	addr := fs.String("addr", "localhost:8080", "HTTP listen address")
+	debug := fs.Bool("debug", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
+	traceCap := fs.Int("trace", 4096, "span ring capacity behind GET /debug/trace (0 disables tracing)")
+	verbose := fs.Bool("v", false, "log serve events (chip degradation, drain) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg, err := fleet.config(clock.NewReal())
+	clk := clock.NewReal()
+	cfg, err := fleet.config(clk)
 	if err != nil {
 		return err
 	}
 	cfg.Live = true
+	var spans *obs.Tracer
+	if *traceCap > 0 {
+		spans = obs.NewRing(clk, *traceCap)
+		cfg.Tracer = spans
+	}
+	if *verbose {
+		cfg.Logger = slog.New(obs.NewLogHandler(os.Stderr, clk, slog.LevelInfo))
+	}
 	s, err := serve.NewServer(cfg)
 	if err != nil {
 		return err
 	}
 	s.Start()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewHandler(s)}
+	handler := serve.NewHandlerOpts(s, serve.HandlerOptions{Tracer: spans, Debug: *debug})
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("odinserve: listening on %s (%d chips)\n", *addr, len(cfg.Chips))

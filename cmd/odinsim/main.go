@@ -8,9 +8,10 @@
 //	odinsim fig3 fig8 overhead    # run specific experiments
 //	odinsim all -json             # machine-readable, keys in paper order
 //	odinsim bench                 # time sequential vs parallel, write BENCH_odinsim.json
+//	odinsim trace -model resnet18 # traced ageing sweep: decision audit + spans -> trace.json
 //
-// Flags (-json, -workers N, -metrics, -out FILE) are recognised in any
-// argument position. Each experiment prints the rows/series of the
+// Flags (-json, -workers N, -metrics, -out FILE, and trace's -model NAME,
+// -runs N, -horizon S) are recognised in any argument position. Each experiment prints the rows/series of the
 // corresponding table or figure of "Odin: Learning to Optimize Operation
 // Unit Configuration for Energy-efficient DNN Inferencing" (DATE 2025).
 // Artefact output is deterministic and independent of the worker count;
@@ -44,8 +45,14 @@ type cliOptions struct {
 	json    bool
 	metrics bool
 	workers int    // 0 = GOMAXPROCS
-	out     string // bench report path
+	out     string // bench report / chrome trace path
+	outSet  bool   // -out given explicitly (trace defaults differ)
 	help    bool
+
+	// trace subcommand knobs
+	model   string
+	runs    int     // 0 = default
+	horizon float64 // 0 = default
 }
 
 // parseArgs scans args for flags wherever they appear and returns the
@@ -89,6 +96,33 @@ func parseArgs(args []string) (cliOptions, []string, error) {
 				return opts, nil, err
 			}
 			opts.out = v
+			opts.outSet = true
+		case "-model", "--model":
+			v, err := takesValue(name)
+			if err != nil {
+				return opts, nil, err
+			}
+			opts.model = v
+		case "-runs", "--runs":
+			v, err := takesValue(name)
+			if err != nil {
+				return opts, nil, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return opts, nil, fmt.Errorf("flag %s needs a positive integer, got %q", name, v)
+			}
+			opts.runs = n
+		case "-horizon", "--horizon":
+			v, err := takesValue(name)
+			if err != nil {
+				return opts, nil, err
+			}
+			h, err := strconv.ParseFloat(v, 64)
+			if err != nil || !(h > 0) {
+				return opts, nil, fmt.Errorf("flag %s needs a positive duration in seconds, got %q", name, v)
+			}
+			opts.horizon = h
 		case "-h", "-help", "--help":
 			opts.help = true
 		default:
@@ -122,6 +156,8 @@ func run(stdout, stderr io.Writer, args []string, clk clock.Clock) error {
 		return runList(stdout, opts)
 	case "bench":
 		return runBench(stdout, stderr, opts, pos[1:], clk)
+	case "trace":
+		return runTrace(stdout, opts, pos[1:])
 	}
 	ids := pos
 	if len(pos) == 1 && pos[0] == "all" {
@@ -259,8 +295,47 @@ func runBench(stdout, stderr io.Writer, opts cliOptions, ids []string, clk clock
 	return nil
 }
 
+// runTrace executes one fully-observed ageing sweep (odinsim trace): it
+// prints the per-layer decision-audit table and the flame summary, and
+// writes the span tree as Chrome trace-event JSON (default trace.json).
+func runTrace(stdout io.Writer, opts cliOptions, rest []string) error {
+	if len(rest) > 0 {
+		return fmt.Errorf("trace takes flags only (-model NAME [-runs N] [-horizon S] [-out FILE]), got %q", rest[0])
+	}
+	if opts.model == "" {
+		return fmt.Errorf("trace needs -model NAME (e.g. odinsim trace -model resnet18)")
+	}
+	res, err := experiments.RunTrace(experiments.TraceOptions{
+		Model: opts.model, Runs: opts.runs, Horizon: opts.horizon,
+	})
+	if err != nil {
+		return err
+	}
+	if err := res.Render(stdout); err != nil {
+		return err
+	}
+	out := opts.out
+	if !opts.outSet {
+		out = "trace.json"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := res.Tracer.WriteChromeTrace(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(stdout, "\nchrome trace: %d spans -> %s (load in chrome://tracing or Perfetto)\n",
+		res.Tracer.Len(), out)
+	return err
+}
+
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: odinsim [-json] [-workers N] [-metrics] list | all | bench [-out FILE] | <experiment-id>...")
+	fmt.Fprintln(w, "usage: odinsim [-json] [-workers N] [-metrics] list | all | bench [-out FILE] | trace -model NAME | <experiment-id>...")
 	fmt.Fprintln(w, "experiments:")
 	for _, e := range experiments.All() {
 		fmt.Fprintf(w, "  %-10s %s\n", e.ID, e.Title)

@@ -191,3 +191,53 @@ func TestBenchWritesReport(t *testing.T) {
 
 // io2 returns a throwaway buffer (keeps the error-path call sites short).
 func io2() *bytes.Buffer { return &bytes.Buffer{} }
+
+// TestTraceSubcommand drives `odinsim trace` end to end: audit table and
+// flame summary on stdout, valid Chrome trace-event JSON at -out.
+func TestTraceSubcommand(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out, errs bytes.Buffer
+	args := []string{"trace", "-model", "resnet18", "-runs", "2", "-out", path}
+	if err := run(&out, &errs, args, clock.NewVirtual(0)); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"trace: model ResNet18, 2 runs", "layer  predicted", "span", "chrome trace:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, text)
+		}
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("chrome trace schema off: unit %q, %d events", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+}
+
+// TestTraceArgumentErrors pins the trace subcommand's validation: -model is
+// mandatory, extra positionals are rejected, and the numeric flags insist
+// on positive values.
+func TestTraceArgumentErrors(t *testing.T) {
+	t.Parallel()
+	for _, args := range [][]string{
+		{"trace"},
+		{"trace", "spurious", "-model", "resnet18"},
+		{"trace", "-model", "resnet18", "-runs", "0"},
+		{"trace", "-model", "resnet18", "-horizon", "-3"},
+		{"trace", "-model", "no-such-net"},
+	} {
+		if err := run(io2(), io2(), args, clock.NewVirtual(0)); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

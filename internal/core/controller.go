@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"odin/internal/mlp"
+	"odin/internal/obs"
 	"odin/internal/ou"
 	"odin/internal/policy"
 	"odin/internal/search"
@@ -50,6 +51,24 @@ type ControllerOptions struct {
 	// ProactiveFactor is the latency degradation ratio that triggers a
 	// proactive pass (default 1.5 when ProactiveReprogram is set).
 	ProactiveFactor float64
+
+	// Tracer, when non-nil, records observability spans for every run on
+	// simulation-time intervals: one "run" span covering the inference
+	// latency, child "layer" spans tiling it (each layer's Eq. 1 share,
+	// annotated with the chosen OU size, energy, cycles, search strategy
+	// and comparator budget), a "noc" span for the activation-movement
+	// tail, and a "reprogram" span when the run schedules a write pass.
+	// Disabled (nil) tracing costs one pointer test per run.
+	Tracer *obs.Tracer
+	// TraceTrack is the tracer lane runs are recorded on (the serving
+	// layer uses one lane per chip).
+	TraceTrack int
+	// Audit, when non-nil, receives one obs.RunAudit per run: every
+	// candidate OU size the line-6 search scored (energy/latency/EDP/
+	// non-ideality), the budget spent, and whether the policy prediction
+	// or the search won each layer. Disabled (nil) auditing costs one
+	// pointer test per run.
+	Audit *obs.AuditLog
 }
 
 // DefaultControllerOptions returns the paper's settings.
@@ -166,10 +185,40 @@ func (c *Controller) RunInference(t float64) RunReport {
 	grid := c.sys.Grid()
 	needReprogram := false
 
+	// Observability is strictly opt-in: with both sinks nil the per-run
+	// cost is two pointer tests plus the nil Probe check inside the search.
+	var audit *obs.RunAudit
+	if c.opts.Audit.Enabled() {
+		audit = &obs.RunAudit{Time: t, Age: age,
+			Layers: make([]obs.LayerDecision, 0, c.wl.Layers())}
+	}
+	traced := c.opts.Tracer.Enabled()
+	var stratByLayer []string
+	var evalsByLayer []int
+	if traced {
+		stratByLayer = make([]string, c.wl.Layers())
+		evalsByLayer = make([]int, c.wl.Layers())
+	}
+
 	for j := 0; j < c.wl.Layers(); j++ {
 		feat := c.wl.FeaturesAt(j, age)
 		predicted := c.pol.Predict(feat) // line 5
 		obj := c.sys.objective(c.wl, j, age)
+
+		var cands []obs.Candidate
+		if audit != nil {
+			// Recompute the full score breakdown per candidate; the search
+			// itself only needs EDP + feasibility, and the extra comparator
+			// work is billed to auditing, not the modelled hardware.
+			score := obj
+			obj.Probe = func(s ou.Size, feasible bool, edp float64) {
+				cost := score.Cost.Evaluate(score.Work, s)
+				cands = append(cands, obs.Candidate{
+					Size: s, Energy: cost.Energy, Latency: cost.Latency,
+					EDP: edp, NF: score.NF(s), Feasible: feasible,
+				})
+			}
+		}
 
 		// Lines 7–8 precondition: when no OU size can meet η, the layer
 		// runs degraded at the smallest OU and the device is reprogrammed
@@ -178,6 +227,15 @@ func (c *Controller) RunInference(t float64) RunReport {
 		if !c.sys.Acc.AnySatisfiable(j, c.wl.Layers(), grid, age) {
 			needReprogram = true
 			rep.Sizes[j] = grid.SizeAt(0, 0)
+			if audit != nil {
+				audit.Layers = append(audit.Layers, obs.LayerDecision{
+					Layer: j, Predicted: predicted, Start: rep.Sizes[j],
+					Chosen: rep.Sizes[j], Strategy: "degraded",
+				})
+			}
+			if traced {
+				stratByLayer[j] = "degraded"
+			}
 			continue
 		}
 
@@ -190,7 +248,9 @@ func (c *Controller) RunInference(t float64) RunReport {
 			useEX = true
 		}
 		var res search.Result
+		strategy := "rb"
 		if useEX {
+			strategy = "ex"
 			res = search.Exhaustive(grid, obj)
 		} else {
 			res = search.ResourceBounded(grid, obj, start, c.opts.SearchK)
@@ -202,6 +262,17 @@ func (c *Controller) RunInference(t float64) RunReport {
 			res.Best = start
 		}
 		rep.Sizes[j] = res.Best
+		if audit != nil {
+			audit.Layers = append(audit.Layers, obs.LayerDecision{
+				Layer: j, Predicted: predicted, Start: start,
+				Chosen: res.Best, Strategy: strategy,
+				Evaluations: res.Evaluations,
+				PolicyWon:   predicted == res.Best, Candidates: cands,
+			})
+		}
+		if traced {
+			stratByLayer[j], evalsByLayer[j] = strategy, res.Evaluations
+		}
 
 		if predicted != res.Best { // lines 9–10
 			rep.Disagreements++
@@ -232,7 +303,53 @@ func (c *Controller) RunInference(t float64) RunReport {
 		c.programmedAt = t
 		c.reprograms++
 	}
+	if traced {
+		c.recordRunSpans(rep, stratByLayer, evalsByLayer)
+	}
+	if audit != nil {
+		audit.Reprogrammed = rep.Reprogrammed
+		c.opts.Audit.Add(*audit)
+	}
 	return rep
+}
+
+// recordRunSpans writes one run's span tree on simulation-time intervals:
+// the run span covers the inference latency; layer spans tile it in
+// execution order (each layer's Eq. 1 latency share), the NoC span carries
+// the activation-movement tail, and a reprogram span follows the run when
+// it scheduled a write pass. Span content is a pure function of the run
+// report, so serve-layer replays export byte-identical traces regardless
+// of worker count.
+func (c *Controller) recordRunSpans(rep RunReport, strat []string, evals []int) {
+	tr, track := c.opts.Tracer, c.opts.TraceTrack
+	run := tr.At("run", track, rep.Time, rep.Time+rep.Latency, nil,
+		obs.String("model", c.wl.Model.Name),
+		obs.Float("age", rep.Age),
+		obs.Int("evals", rep.SearchEvaluations),
+		obs.Float("energy", rep.Energy),
+		obs.Float("accuracy", rep.Accuracy))
+	cm := c.sys.Arch.CostModel()
+	cursor := rep.Time
+	for j, s := range rep.Sizes {
+		cost := cm.Evaluate(c.wl.Works[j], s)
+		end := cursor + cost.Latency
+		tr.At("layer", track, cursor, end, run,
+			obs.Int("layer", j),
+			obs.String("ou", s.String()),
+			obs.String("strategy", strat[j]),
+			obs.Int("evals", evals[j]),
+			obs.Float("energy", cost.Energy),
+			obs.Int("cycles", cost.Cycles))
+		cursor = end
+	}
+	tr.At("noc", track, cursor, cursor+c.wl.NoCLatency, run,
+		obs.Float("energy", c.wl.NoCEnergy))
+	if rep.Reprogrammed {
+		tr.At("reprogram", track, rep.Time+rep.Latency,
+			rep.Time+rep.Latency+rep.ReprogramLatency, nil,
+			obs.Int("passes", rep.ReprogramPasses),
+			obs.Float("energy", rep.ReprogramEnergy))
+	}
 }
 
 func (c *Controller) updatePolicy() {

@@ -31,6 +31,21 @@ type Objective struct {
 	Layer int     // layer index j
 	Of    int     // total layer count
 	Time  float64 // device age (s)
+
+	// Probe, when non-nil, observes every candidate evaluation a search
+	// performs (the decision-audit hook, internal/obs): the size, whether
+	// it met the non-ideality constraint, and its EDP score (NaN for
+	// infeasible candidates, which are never scored). The nil check is the
+	// only cost when auditing is disabled — see
+	// TestDisabledObsOverheadGuard at the repo root.
+	Probe func(s ou.Size, feasible bool, edp float64)
+}
+
+// probe reports one candidate evaluation to the audit hook, if any.
+func (o Objective) probe(s ou.Size, feasible bool, edp float64) {
+	if o.Probe != nil {
+		o.Probe(s, feasible, edp)
+	}
 }
 
 // EDP returns the energy-delay product of the layer at size s.
@@ -87,9 +102,12 @@ func Exhaustive(g ou.Grid, o Objective) Result {
 	for _, s := range g.Sizes() {
 		res.Evaluations++
 		if !o.Feasible(s) {
+			o.probe(s, false, math.NaN())
 			continue
 		}
-		if edp := o.EDP(s); edp < res.BestEDP {
+		edp := o.EDP(s)
+		o.probe(s, true, edp)
+		if edp < res.BestEDP {
 			res.Best, res.BestEDP, res.Found = s, edp, true
 		}
 	}
@@ -116,9 +134,12 @@ func ResourceBounded(g ou.Grid, o Objective, start ou.Size, k int) Result {
 		s := g.SizeAt(ri, ci)
 		res.Evaluations++
 		if !o.Feasible(s) {
+			o.probe(s, false, math.NaN())
 			return math.Inf(1), false
 		}
-		return o.EDP(s), true
+		edp = o.EDP(s)
+		o.probe(s, true, edp)
+		return edp, true
 	}
 	record := func(ri, ci int, edp float64) {
 		if edp < res.BestEDP {

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"math"
+
+	"odin/internal/obs"
 )
 
 // dispatch is the single goroutine that owns all routing, admission,
@@ -89,6 +91,14 @@ func (s *Server) process(req *Request) {
 	}
 	if len(c.pending) >= s.cfg.QueueDepth {
 		s.met.shed.Inc()
+		// Zero-width marker on the chip's track. Shed decisions are exact
+		// under replay (the admission path synchronously advanced to t), so
+		// the marker's content is deterministic.
+		if tr := s.cfg.Tracer; tr.Enabled() {
+			tr.At("shed", c.id, t, t, nil,
+				obs.Int64("request", int64(req.ID)),
+				obs.String("model", req.Model))
+		}
 		req.respond(Response{ID: req.ID, Chip: c.id, Shed: true})
 		return
 	}
@@ -177,8 +187,26 @@ func (s *Server) finishBatch(b *batch) {
 	rep := b.rep
 	b.finish = b.start + rep.BatchLatency()
 	b.done = true
+	// Span content is a pure function of the batch (virtual start, riders,
+	// deterministic report); only *when* finishBatch observes the result is
+	// scheduling-dependent, and canonical export ordering hides that.
+	var span *obs.Span
+	if tr := s.cfg.Tracer; tr.Enabled() {
+		span = tr.At("batch", c.id, b.start, b.finish, nil,
+			obs.String("model", c.model),
+			obs.Int64("batch", int64(b.id)),
+			obs.Int("size", len(b.reqs)),
+			obs.Float("energy", rep.BatchEnergy()),
+			obs.Bool("reprogrammed", rep.Reprogrammed))
+	}
 	for i, r := range b.reqs {
 		wait := b.start + float64(i)*rep.Latency - r.Arrival
+		if span != nil {
+			s.cfg.Tracer.At("request", c.id,
+				r.Arrival, b.start+float64(i+1)*rep.Latency, span,
+				obs.Int64("request", int64(r.ID)),
+				obs.Float("wait", wait))
+		}
 		r.respond(Response{
 			ID:           r.ID,
 			Chip:         c.id,
@@ -205,6 +233,12 @@ func (s *Server) finishBatch(b *batch) {
 		if s.cfg.ReprogramBudget > 0 && !c.degraded && c.ctrl.Reprograms() >= s.cfg.ReprogramBudget {
 			c.degraded = true
 			s.met.chipDegraded.With(c.label).Set(1)
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Warn("chip degraded",
+					"chip", c.id, "model", c.model,
+					"reprograms", c.ctrl.Reprograms(),
+					"budget", s.cfg.ReprogramBudget)
+			}
 		}
 	}
 }
@@ -216,5 +250,8 @@ func (s *Server) flush() {
 	for _, c := range s.chips {
 		s.advance(c, math.Inf(1), true)
 		s.met.chipDepth.With(c.label).Set(0)
+	}
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("fleet drained", "chips", len(s.chips))
 	}
 }

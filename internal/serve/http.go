@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
+
+	"odin/internal/obs"
 )
 
 // maxInferBody bounds /infer request bodies. Inference submissions are a
@@ -67,6 +70,29 @@ func (s *Server) MaxBatch() int { return s.cfg.MaxBatch }
 // The server must be Live: non-live servers only retire batches on the
 // dispatcher's arrival path, so a blocking handler would deadlock.
 func NewHandler(s *Server) http.Handler {
+	return NewHandlerOpts(s, HandlerOptions{})
+}
+
+// HandlerOptions extend NewHandler with the observability endpoints.
+type HandlerOptions struct {
+	// Tracer, when non-nil, exposes GET /debug/trace: a Chrome trace-event
+	// JSON dump of the spans currently held (for a ring tracer, the most
+	// recent window). Pass the same tracer as Config.Tracer.
+	Tracer *obs.Tracer
+	// Debug registers the net/http/pprof profiling handlers under /debug/
+	// pprof/. Off by default: profiling endpoints leak operational detail
+	// and cost CPU, so live deployments must opt in (odinserve -debug).
+	Debug bool
+}
+
+// NewHandlerOpts is NewHandler plus opt-in observability endpoints:
+//
+//	GET /debug/trace    Chrome trace-event JSON span dump (opts.Tracer set)
+//	GET /debug/pprof/   net/http/pprof profiling suite (opts.Debug set)
+//
+// The pprof handlers are registered explicitly on the returned mux — the
+// package's DefaultServeMux side-effect registrations are never served.
+func NewHandlerOpts(s *Server, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) { s.handleInfer(w, r) })
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -81,6 +107,24 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if opts.Tracer.Enabled() {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			var sb strings.Builder
+			if err := opts.Tracer.WriteChromeTrace(&sb); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, sb.String())
+		})
+	}
+	if opts.Debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -35,6 +35,7 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,7 @@ import (
 	"odin/internal/clock"
 	"odin/internal/core"
 	"odin/internal/dnn"
+	"odin/internal/obs"
 	"odin/internal/ou"
 	"odin/internal/policy"
 	"odin/internal/telemetry"
@@ -116,6 +118,18 @@ type Config struct {
 	Live bool
 	// Registry receives serve-path metrics; nil creates a private one.
 	Registry *telemetry.Registry
+	// Tracer, when non-nil, records serve-path spans — per-chip "batch"
+	// spans with child "request" spans, zero-width "shed" markers, and the
+	// controller's run/layer/noc/reprogram tree (each chip's controller is
+	// given this tracer on track == chip id, superseding
+	// Controller.Tracer/TraceTrack). All span timestamps are virtual
+	// (Clock) times, so replayed traces export byte-identically regardless
+	// of Workers — see WriteChromeTrace's canonical ordering.
+	Tracer *obs.Tracer
+	// Logger receives structured serve events (chip degradation, drain);
+	// nil disables logging. Pair it with obs.NewLogHandler over the same
+	// Clock for deterministic timestamps.
+	Logger *slog.Logger
 	// System is the simulated platform; nil uses core.DefaultSystem.
 	System *core.System
 	// Controller tunes each chip's online-learning loop.
@@ -311,6 +325,9 @@ func NewServer(cfg Config) (*Server, error) {
 		opts := cfg.Controller
 		if opts.TrainSeed == 0 {
 			opts.TrainSeed = seed
+		}
+		if cfg.Tracer != nil {
+			opts.Tracer, opts.TraceTrack = cfg.Tracer, i
 		}
 		pol := policy.New(policy.Config{Grid: sys.Grid(), Seed: seed})
 		ctrl, err := core.NewController(sys, wl, pol, opts)

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestLabelEscapingPerSpec is the regression for the %q rendering this
+// package used before: the text exposition format escapes exactly
+// backslash, double quote, and line feed in label values — everything
+// else (tabs, control bytes, non-ASCII) passes through verbatim, where Go
+// quoting would emit escape sequences Prometheus parsers read literally.
+func TestLabelEscapingPerSpec(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	c := r.CounterVec("esc_total", "escaping fixture", "path")
+	c.With(`back\slash`).Inc()
+	c.With("quo\"te").Inc()
+	c.With("new\nline").Add(2)
+	c.With("tab\tand\x01ctrl and ünïcode").Inc()
+	g := r.GaugeVec("esc_gauge", "", "path")
+	g.With("a\\\"b\nc").Set(1.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`esc_total{path="back\\slash"} 1`,
+		`esc_total{path="quo\"te"} 1`,
+		`esc_total{path="new\nline"} 2`,
+		"esc_total{path=\"tab\tand\x01ctrl and ünïcode\"} 1", // verbatim
+		`esc_gauge{path="a\\\"b\nc"} 1.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `\t`) || strings.Contains(out, `\x01`) || strings.Contains(out, `\u`) {
+		t.Errorf("Go-style over-escaping leaked into the exposition:\n%s", out)
+	}
+}
+
+func TestEscapeLabelCleanValuesUntouched(t *testing.T) {
+	t.Parallel()
+	for _, s := range []string{"", "0", "chip-7", "ResNet18", "a b c", "ünïcode"} {
+		if got := escapeLabel(s); got != s {
+			t.Errorf("escapeLabel(%q) = %q, want unchanged", s, got)
+		}
+	}
+}
+
+// TestHistogramQuantiles pins the deterministic bucket-interpolation
+// estimator: exact interpolated values for a hand-built distribution,
+// NaN on empty, and clamping to the last finite bound for +Inf mass.
+func TestHistogramQuantiles(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.Histogram("lat", "quantile fixture", []float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile not NaN")
+	}
+
+	// 1 sample in (−∞,1], 1 in (1,2], 2 in (2,4]: n=4.
+	for _, v := range []float64{0.5, 1.5, 3, 3} {
+		h.Observe(v)
+	}
+	approx := func(got, want float64) bool { return math.Abs(got-want) <= 1e-12 }
+	// p50: rank 2 lands at the end of bucket (1,2] → 2 exactly.
+	if got := h.Quantile(0.5); !approx(got, 2) {
+		t.Fatalf("p50 = %g, want 2", got)
+	}
+	// p99: rank 3.96 interpolates inside (2,4]: 2 + 2*(1.96/2).
+	if got := h.Quantile(0.99); !approx(got, 3.96) {
+		t.Fatalf("p99 = %g, want 3.96", got)
+	}
+	// q clamps.
+	if got := h.Quantile(2); !approx(got, 4) {
+		t.Fatalf("q>1 = %g, want 4", got)
+	}
+
+	// Mass beyond the last finite bound clamps the estimate to that bound.
+	h.Observe(100)
+	if got := h.Quantile(0.99); !approx(got, 4) {
+		t.Fatalf("p99 with +Inf mass = %g, want 4", got)
+	}
+
+	// The exposition renders the estimates as a separate series.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_quantile{q="0.5"}`, `lat_quantile{q="0.9"}`, `lat_quantile{q="0.99"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramQuantileFirstAndNegativeBuckets pins the first-bucket lower
+// bound rule: interpolate up from 0, or from the bound itself when the
+// first bound is negative.
+func TestHistogramQuantileFirstAndNegativeBuckets(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.Histogram("pos", "", []float64{10})
+	h.Observe(3)
+	h.Observe(7)
+	// rank 1 of 2 in bucket (0,10] → 0 + 10*(1/2) = 5.
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("first-bucket p50 = %g, want 5", got)
+	}
+	hn := r.Histogram("neg", "", []float64{-10, 0})
+	hn.Observe(-15) // lands in the all-negative first bucket (le=-10)
+	// A 0 lower bound would invert the interval, so the bound itself
+	// anchors the (zero-width) estimate.
+	if got := hn.Quantile(1); got != -10 {
+		t.Fatalf("negative first-bucket p100 = %g, want -10", got)
+	}
+	hn.Observe(-5) // (−10,0] bucket: p100 interpolates to its upper bound
+	if got := hn.Quantile(1); got != 0 {
+		t.Fatalf("negative-bucket p100 = %g, want 0", got)
+	}
+}

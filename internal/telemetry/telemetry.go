@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -82,6 +83,37 @@ func (h *Histogram) Count() uint64 { return h.n.Load() }
 
 // Sum returns the sum of observed samples.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (q clamped to [0, 1]) from the bucket
+// counts by linear interpolation within the owning bucket — the estimator
+// PromQL's histogram_quantile uses, evaluated locally and deterministically
+// from the bucket boundaries alone. The first bucket interpolates up from 0
+// (or from its bound when that is negative); samples beyond the last finite
+// bound clamp to that bound. Returns NaN when no samples were observed (or
+// when the histogram has no finite buckets).
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.n.Load()
+	if n == 0 || len(h.bounds) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	rank := q * float64(n)
+	var cum float64
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			} else if bound < 0 {
+				lower = bound
+			}
+			return lower + (bound-lower)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
 
 // kind discriminates registered metric families.
 type kind int
@@ -311,7 +343,7 @@ func (f *family) write(w io.Writer) error {
 		}
 		f.mu.Unlock()
 		for i, v := range values {
-			if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", f.name, f.label, v, kids[i].Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", f.name, f.label, escapeLabel(v), kids[i].Value()); err != nil {
 				return err
 			}
 		}
@@ -324,7 +356,7 @@ func (f *family) write(w io.Writer) error {
 		}
 		f.mu.Unlock()
 		for i, v := range values {
-			if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", f.name, f.label, v, formatFloat(kids[i].Value())); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n", f.name, f.label, escapeLabel(v), formatFloat(kids[i].Value())); err != nil {
 				return err
 			}
 		}
@@ -348,8 +380,21 @@ func (f *family) writeHistogram(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "%s_sum %s\n", f.name, formatFloat(h.Sum())); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", f.name, h.Count())
-	return err
+	if _, err := fmt.Fprintf(w, "%s_count %d\n", f.name, h.Count()); err != nil {
+		return err
+	}
+	// Deterministic bucket-interpolated quantile estimates, rendered as a
+	// separate (untyped) series so strict histogram parsers are unaffected.
+	for _, qe := range [...]struct {
+		q     float64
+		label string
+	}{{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}} {
+		if _, err := fmt.Fprintf(w, "%s_quantile{q=\"%s\"} %s\n",
+			f.name, qe.label, formatFloat(h.Quantile(qe.q))); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func sortedKeysC(m map[string]*Counter) []string {
@@ -373,6 +418,32 @@ func sortedKeysG(m map[string]*Gauge) []string {
 // formatFloat renders a float in the shortest round-trippable decimal form.
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and line feed — and nothing else. Go's
+// %q was used here before, but it over-escapes (tabs, control bytes, and
+// non-ASCII become Go escape sequences that Prometheus parsers read
+// literally); the spec names exactly these three characters.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 2)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
 }
 
 // validName checks the Prometheus metric/label name grammar
