@@ -1,14 +1,18 @@
 // Command odinlint runs the project's static-analysis suite
 // (internal/lint) over the module: determinism (internal/rng is the only
 // randomness source), float-equality hygiene, unit-family safety in the
-// analytic cost models, panic-message prefixes, and dropped-error checks.
+// analytic cost models, panic-message prefixes, dropped-error checks, and
+// the interprocedural flow analyzers (internal/lint/flow): detflow,
+// clockonly, lockflow, leakcheck.
 //
 // Usage:
 //
-//	odinlint [-list] [-rules rule1,rule2] [-exempt rule=pathprefix] [packages]
+//	odinlint [-list] [-json] [-rules rule1,rule2] [-exempt rule=pathprefix] [packages]
 //
 // Packages default to ./... . Exit status: 0 clean, 1 findings, 2 usage or
-// load error. Suppress a single finding in source with
+// load error. With -json, findings are emitted as a JSON array of
+// {file,line,col,rule,message} objects on stdout (an empty array when
+// clean) for machine consumption. Suppress a single finding in source with
 //
 //	//lint:allow <rule>[,<rule>...] [-- reason]
 //
@@ -16,12 +20,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"odin/internal/lint"
+	_ "odin/internal/lint/flow" // registers detflow, clockonly, lockflow, leakcheck
 )
 
 func main() {
@@ -32,11 +39,12 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("odinlint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of {file,line,col,rule,message} objects")
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	var exempts multiFlag
 	fs.Var(&exempts, "exempt", "rule=pathprefix exemption, repeatable (e.g. -exempt nondeterminism=cmd/)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: odinlint [-list] [-rules r1,r2] [-exempt rule=prefix] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: odinlint [-list] [-json] [-rules r1,r2] [-exempt rule=prefix] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -70,6 +78,14 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "odinlint: bad -exempt %q (want rule=pathprefix)\n", e)
 			return 2
 		}
+		// An exemption for a rule that does not exist is a silent no-op at
+		// best and a typo hiding real findings at worst; fail loudly.
+		if rule != "*" {
+			if _, err := lint.ByName(rule); err != nil {
+				fmt.Fprintf(os.Stderr, "odinlint: bad -exempt %q: %v\n", e, err)
+				return 2
+			}
+		}
 		cfg.Exempt[rule] = append(cfg.Exempt[rule], prefix)
 	}
 
@@ -79,14 +95,49 @@ func run(args []string) int {
 		return 2
 	}
 	diags := lint.Run(pkgs, analyzers, cfg)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "odinlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "odinlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag pins the machine-readable field order: file, line, col, rule,
+// message. Downstream tooling (CI annotations, the lintfix audit) keys on
+// these names.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// writeJSON emits diagnostics as an indented JSON array, [] when clean.
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // multiFlag collects repeated string flag values.

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"odin/internal/lint"
+)
+
+// TestJSONOutputPinsKeyOrder locks the machine-readable schema: downstream
+// tooling (CI annotations, the lintfix audit) keys on these names in this
+// order, so a drive-by struct reorder must fail a test, not a pipeline.
+func TestJSONOutputPinsKeyOrder(t *testing.T) {
+	t.Parallel()
+	var sb strings.Builder
+	diags := []lint.Diagnostic{
+		{
+			Pos:     token.Position{Filename: "internal/serve/serve.go", Line: 381, Column: 2},
+			Rule:    "lockflow",
+			Message: "channel send while holding s.mu",
+		},
+	}
+	if err := writeJSON(&sb, diags); err != nil {
+		t.Fatal(err)
+	}
+	want := `[
+  {
+    "file": "internal/serve/serve.go",
+    "line": 381,
+    "col": 2,
+    "rule": "lockflow",
+    "message": "channel send while holding s.mu"
+  }
+]
+`
+	if sb.String() != want {
+		t.Fatalf("JSON output drifted:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// A clean run must emit a JSON array, not null: consumers iterate it.
+func TestJSONOutputEmptyIsArray(t *testing.T) {
+	t.Parallel()
+	var sb strings.Builder
+	if err := writeJSON(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(sb.String()); got != "[]" {
+		t.Fatalf("empty findings rendered %q, want []", got)
+	}
+}
+
+// TestExemptUnknownRuleErrors is the regression for the silent-no-op bug
+// shape: -exempt with a misspelled rule name used to never match anything
+// and never complain. It must exit 2 with a loud message before any
+// package is loaded.
+func TestExemptUnknownRuleErrors(t *testing.T) {
+	stderr := captureStderr(t)
+	code := run([]string{"-exempt", "bogusrule=cmd/"})
+	out := stderr()
+	if code != 2 {
+		t.Fatalf("run exited %d, want 2", code)
+	}
+	if !strings.Contains(out, `unknown analyzer "bogusrule"`) {
+		t.Fatalf("stderr %q does not name the unknown analyzer", out)
+	}
+}
+
+// The wildcard rule is not a registered analyzer but is valid exemption
+// syntax; it must not trip the unknown-rule check. (The run still fails
+// with exit 2 further down — the test cwd is not a module root — but with
+// a load error, not an exempt error.)
+func TestExemptWildcardRuleAccepted(t *testing.T) {
+	stderr := captureStderr(t)
+	run([]string{"-exempt", "*=cmd/"})
+	if out := stderr(); strings.Contains(out, "unknown analyzer") {
+		t.Fatalf("wildcard exemption rejected: %q", out)
+	}
+}
+
+// TestFlowAnalyzersRegistered pins the CLI's analyzer surface: the blank
+// import of internal/lint/flow must bring the four interprocedural rules
+// into the registry alongside the five per-file built-ins.
+func TestFlowAnalyzersRegistered(t *testing.T) {
+	t.Parallel()
+	have := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		have[a.Name] = true
+	}
+	for _, name := range []string{
+		"clockonly", "detflow", "errcheck", "floateq", "leakcheck",
+		"lockflow", "nondeterminism", "panicmsg", "unitmix",
+	} {
+		if !have[name] {
+			t.Errorf("analyzer %q not registered", name)
+		}
+	}
+	if len(have) != 9 {
+		t.Errorf("registry has %d analyzers, want 9: %v", len(have), have)
+	}
+}
+
+// captureStderr redirects os.Stderr until the returned function is called,
+// which restores it and returns what was written.
+func captureStderr(t *testing.T) func() string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	done := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 64<<10)
+		n, _ := r.Read(buf)
+		done <- string(buf[:n])
+	}()
+	return func() string {
+		w.Close()
+		os.Stderr = old
+		out := <-done
+		r.Close()
+		return out
+	}
+}

@@ -28,8 +28,12 @@ import (
 	"strings"
 
 	"odin/internal/clock"
+	"odin/internal/core"
+	"odin/internal/dnn"
 	"odin/internal/experiments"
 	"odin/internal/par"
+	"odin/internal/policy"
+	"odin/internal/search"
 	"odin/internal/telemetry"
 )
 
@@ -220,13 +224,19 @@ func runList(stdout io.Writer, opts cliOptions) error {
 // sequential (workers=1) engine vs the parallel pool, per experiment and
 // in aggregate. Milliseconds, like the serve bench trajectory.
 type benchReport struct {
-	Bench        string           `json:"bench"`
-	GOMAXPROCS   int              `json:"gomaxprocs"`
-	Workers      int              `json:"workers"`
-	SequentialMS float64          `json:"sequential_ms"`
-	ParallelMS   float64          `json:"parallel_ms"`
-	Speedup      float64          `json:"speedup"`
-	Experiments  []benchExpReport `json:"experiments"`
+	Bench        string  `json:"bench"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Workers      int     `json:"workers"`
+	SequentialMS float64 `json:"sequential_ms"`
+	ParallelMS   float64 `json:"parallel_ms"`
+	Speedup      float64 `json:"speedup"`
+	// DecisionNsPerOp is the per-layer controller decision cost (one policy
+	// prediction plus clamp and K=3 resource-bounded refinement) in
+	// nanoseconds — the serving-path hot slice, measured on the same
+	// reference layer as BenchmarkControllerLayerDecision. Zero when the
+	// injected clock does not advance (virtual-clock runs).
+	DecisionNsPerOp float64          `json:"decision_ns_per_op"`
+	Experiments     []benchExpReport `json:"experiments"`
 }
 
 type benchExpReport struct {
@@ -257,12 +267,19 @@ func runBench(stdout, stderr io.Writer, opts cliOptions, ids []string, clk clock
 		return err
 	}
 
+	fmt.Fprintf(stderr, "bench: controller decision micro-pass\n")
+	decNs, err := benchDecision(clk)
+	if err != nil {
+		return err
+	}
+
 	rep := benchReport{
-		Bench:        "odinsim_all",
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		Workers:      workers,
-		SequentialMS: seq.WallSeconds * 1e3,
-		ParallelMS:   parRep.WallSeconds * 1e3,
+		Bench:           "odinsim_all",
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         workers,
+		SequentialMS:    seq.WallSeconds * 1e3,
+		ParallelMS:      parRep.WallSeconds * 1e3,
+		DecisionNsPerOp: decNs,
 	}
 	if parRep.WallSeconds > 0 {
 		rep.Speedup = seq.WallSeconds / parRep.WallSeconds
@@ -285,14 +302,59 @@ func runBench(stdout, stderr io.Writer, opts cliOptions, ids []string, clk clock
 	if err := os.WriteFile(opts.out, append(b, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "odinsim bench: sequential %.0f ms, parallel %.0f ms (workers=%d, speedup %.2fx) -> %s\n",
-		rep.SequentialMS, rep.ParallelMS, rep.Workers, rep.Speedup, opts.out)
+	fmt.Fprintf(stdout, "odinsim bench: sequential %.0f ms, parallel %.0f ms (workers=%d, speedup %.2fx), decision %.0f ns/op -> %s\n",
+		rep.SequentialMS, rep.ParallelMS, rep.Workers, rep.Speedup, rep.DecisionNsPerOp, opts.out)
 	if reg != nil {
 		if err := reg.WritePrometheus(stderr); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// benchDecision times the per-layer controller decision slice — one policy
+// prediction plus the clamp-and-RB-search refinement, the serving-path hot
+// loop — on the reference layer BenchmarkControllerLayerDecision uses
+// (VGG11 layer 4 at age 10⁴ s) and returns nanoseconds per decision. Time
+// comes from the injected clock; if it does not advance (virtual clock in
+// tests), the measurement stops after one batch and reports zero.
+func benchDecision(clk clock.Clock) (float64, error) {
+	sys := core.DefaultSystem()
+	wl, err := sys.Prepare(dnn.NewVGG11())
+	if err != nil {
+		return 0, err
+	}
+	pol := policy.New(policy.Config{Grid: sys.Grid(), Seed: 1})
+	grid := sys.Grid()
+	feat := wl.FeaturesAt(4, 1e4)
+	obj := core.LayerObjective(sys, wl, 4, 1e4)
+	decide := func() {
+		predicted := pol.Predict(feat)
+		start := search.ClampFeasible(grid, obj, predicted)
+		_ = search.ResourceBounded(grid, obj, start, 3)
+	}
+	for i := 0; i < 100; i++ {
+		decide() // warm-up
+	}
+	const batch = 256
+	const maxIters = 1 << 17
+	iters := 0
+	start := clk.Now()
+	elapsed := 0.0
+	for iters < maxIters {
+		for i := 0; i < batch; i++ {
+			decide()
+		}
+		iters += batch
+		elapsed = clk.Now() - start
+		if elapsed == 0 { // frozen or sub-resolution clock: nothing to report
+			return 0, nil
+		}
+		if elapsed >= 0.05 {
+			break
+		}
+	}
+	return elapsed * 1e9 / float64(iters), nil
 }
 
 // runTrace executes one fully-observed ageing sweep (odinsim trace): it

@@ -187,6 +187,14 @@ func TestBenchWritesReport(t *testing.T) {
 	if rep.Experiments[0].ID != "tab1" || rep.Experiments[1].ID != "tab2" {
 		t.Fatalf("bench report experiment order off: %+v", rep.Experiments)
 	}
+	// The per-decision figure must be in the artefact schema; on a virtual
+	// clock the timed loop cannot advance, so it reports exactly zero.
+	if !strings.Contains(string(b), `"decision_ns_per_op"`) {
+		t.Fatalf("bench report missing decision_ns_per_op:\n%s", b)
+	}
+	if rep.DecisionNsPerOp != 0 {
+		t.Fatalf("virtual-clock decision bench = %v ns/op, want 0", rep.DecisionNsPerOp)
+	}
 }
 
 // io2 returns a throwaway buffer (keeps the error-path call sites short).

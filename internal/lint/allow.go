@@ -28,6 +28,26 @@ func (idx allowIndex) allows(file string, line int, rule string) bool {
 	return idx[file][line][rule]
 }
 
+// mergeAllowIndex folds src into dst (module-level runs need one index
+// spanning every package's files).
+func mergeAllowIndex(dst, src allowIndex) {
+	for file, lines := range src {
+		if dst[file] == nil {
+			dst[file] = lines
+			continue
+		}
+		for line, rules := range lines {
+			if dst[file][line] == nil {
+				dst[file][line] = rules
+				continue
+			}
+			for r := range rules {
+				dst[file][line][r] = true
+			}
+		}
+	}
+}
+
 // buildAllowIndex scans every comment in files for allow directives.
 func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 	idx := make(allowIndex)

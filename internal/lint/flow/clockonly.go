@@ -1,0 +1,121 @@
+package flow
+
+import (
+	"go/types"
+	"strings"
+
+	"odin/internal/lint"
+)
+
+// ClockonlyAnalyzer structurally enforces the PR 2 invariant that every
+// wall-clock read in the module is confined to internal/clock (clock.Real
+// being the single sanctioned read, injected only by live binaries):
+//
+//  1. direct time.Now/Since/Until/Sleep/After/... calls outside
+//     internal/clock are flagged at the call site;
+//  2. clock.NewReal construction outside cmd/ and examples/ is flagged —
+//     simulation and library code must accept an injected clock.Clock;
+//  3. interprocedurally, a call into any module function that transitively
+//     reaches a raw wall-clock read (or constructs Real) is flagged at the
+//     call edge. An inline allow on the direct read covers that one site,
+//     not the helpers that launder it — each laundering edge needs its own
+//     reviewed justification.
+//
+// internal/clock itself is the sanctioned boundary: reads inside it do not
+// propagate (the Virtual/Real split plus the nondeterminism path exemption
+// govern that package), so code calling clock.Clock.Now stays clean.
+var ClockonlyAnalyzer = &lint.Analyzer{
+	Name:      "clockonly",
+	Doc:       "wall-clock reads must be confined to internal/clock; core code takes an injected clock.Clock and never constructs clock.Real",
+	RunModule: runClockonly,
+}
+
+// wallClockFuncs are the time package entry points that observe or depend
+// on real time. Unlike the per-file nondeterminism rule this includes the
+// sleep/timer family: real-time waits make replay timing-dependent.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+func isWallClockExt(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()]
+}
+
+func runClockonly(mp *lint.ModulePass) {
+	g := graphFor(mp)
+	clockPkg := func(n *Node) bool {
+		return n.Pkg.Path == n.Pkg.ModulePath+"/internal/clock"
+	}
+	isNewReal := func(n *Node) bool {
+		return n.Fn != nil && n.Fn.Name() == "NewReal" && clockPkg(n)
+	}
+	// Nodes that transitively reach a raw wall-clock read or construct the
+	// Real clock, with internal/clock itself as the barrier (minus NewReal:
+	// constructing the wall clock is exactly what core code must not do).
+	reaching := g.Reaching(
+		func(n *Node) bool {
+			if isNewReal(n) {
+				return true
+			}
+			if clockPkg(n) {
+				return false
+			}
+			for _, e := range n.Calls {
+				if e.Ext != nil && isWallClockExt(e.Ext) {
+					return true
+				}
+			}
+			return false
+		},
+		nil,
+		func(n *Node) bool { return clockPkg(n) && !isNewReal(n) },
+	)
+	for _, n := range g.Nodes {
+		if clockPkg(n) {
+			continue
+		}
+		cmdLayer := n.InCommandLayer()
+		for _, e := range n.Calls {
+			switch {
+			case e.Ext != nil && isWallClockExt(e.Ext):
+				mp.Reportf(n.Pkg, e.Site.Pos(),
+					"time.%s reads the wall clock outside internal/clock; take an injected clock.Clock instead", e.Ext.Name())
+			case e.Callee != nil && !cmdLayer && isNewReal(e.Callee):
+				mp.Reportf(n.Pkg, e.Site.Pos(),
+					"clock.NewReal constructs the wall clock outside a live binary (cmd/); accept an injected clock.Clock")
+			case e.Callee != nil && !cmdLayer && reaching[e.Callee] && !isNewReal(e.Callee):
+				mp.Reportf(n.Pkg, e.Site.Pos(),
+					"call to %s transitively reads the wall clock (laundered wall-clock dependency); route time through an injected clock.Clock", calleeLabel(e.Callee))
+			}
+		}
+	}
+}
+
+// calleeLabel renders a callee for diagnostics, package-qualified for
+// cross-package edges.
+func calleeLabel(n *Node) string {
+	if n.Fn == nil {
+		return "goroutine literal"
+	}
+	rel := strings.TrimPrefix(n.Pkg.Path, n.Pkg.ModulePath+"/")
+	if i := strings.LastIndex(rel, "/"); i >= 0 {
+		rel = rel[i+1:]
+	}
+	if sig, ok := n.Fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return rel + "." + recvTypeName(sig) + "." + n.Fn.Name()
+	}
+	return rel + "." + n.Fn.Name()
+}
+
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,96 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"odin/internal/lint"
+)
+
+// DetflowAnalyzer is the interprocedural nondeterminism-taint rule: values
+// derived from wall-clock reads, map iteration order, select arbitration,
+// or goroutine completion order must not reach serialized or exported
+// output (fmt writers, io.Writer.Write, encoding/json, os.WriteFile,
+// telemetry samples) — no matter how many function calls launder them on
+// the way. The per-file nondeterminism rule catches the direct patterns;
+// detflow catches the helpers.
+var DetflowAnalyzer = &lint.Analyzer{
+	Name:      "detflow",
+	Doc:       "nondeterminism taint (wall clock, map order, select races, goroutine order) must not flow into serialized output, across function and package boundaries",
+	RunModule: runDetflow,
+}
+
+func runDetflow(mp *lint.ModulePass) {
+	g := graphFor(mp)
+	ta := newTaintAnalysis(g, func(n *Node) bool {
+		// internal/clock is the sanctioned laundering boundary: Virtual is
+		// deterministic, Real is the single exempted wall-clock read whose
+		// confinement clockonly enforces. Taint does not propagate out of
+		// it, so injected clocks stay clean by design.
+		return n.Pkg.Path == n.Pkg.ModulePath+"/internal/clock"
+	})
+	ta.solve()
+	for _, n := range g.Nodes {
+		n := n
+		ta.report(n, func(site ast.Node, t Taint, sink string) {
+			mp.Reportf(n.Pkg, site.Pos(), "nondeterministic value (%s) flows into %s; serialized output must be a pure function of inputs and internal/rng", t, sink)
+		})
+	}
+}
+
+// sinkArgs reports whether fn is a serialized-output sink and, if so, the
+// first argument index that reaches the output stream (that argument and
+// everything after it are checked).
+func sinkArgs(fn *types.Func) (int, bool) {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	name := fn.Name()
+	switch pkg {
+	case "fmt":
+		if strings.HasPrefix(name, "Fprint") {
+			return 1, true
+		}
+		if strings.HasPrefix(name, "Print") {
+			return 0, true
+		}
+	case "encoding/json":
+		if name == "Encode" {
+			return 0, true
+		}
+	case "os":
+		if name == "WriteFile" {
+			return 1, true
+		}
+	}
+	// Telemetry samples are exported via /metrics and the experiment
+	// artefacts; a nondeterministic sample is a nondeterministic artefact.
+	if strings.HasSuffix(pkg, "internal/telemetry") {
+		switch name {
+		case "Set", "Add", "Observe":
+			return 0, true
+		}
+	}
+	// Writer-shaped methods: Write([]byte) (int, error) and
+	// WriteString(string) (int, error), on any receiver (io.Writer,
+	// bytes.Buffer, strings.Builder, os.File, module implementations).
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if (name == "Write" || name == "WriteString") &&
+			sig.Params().Len() == 1 && sig.Results().Len() == 2 {
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// sinkName renders the sink for diagnostics ("fmt.Fprintf", "Write").
+func sinkName(fn *types.Func) string {
+	if fn.Pkg() != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

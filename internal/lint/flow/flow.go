@@ -1,0 +1,72 @@
+// Package flow upgrades odinlint from per-file pattern matching to
+// interprocedural dataflow. It builds a module-wide call graph over the
+// go/types-checked ASTs that internal/lint loads, runs a worklist taint
+// solver on top of it, and registers four module-level analyzers:
+//
+//   - detflow: nondeterminism taint — wall-clock reads, map iteration
+//     order, select arbitration, goroutine completion order — propagated
+//     through the call graph into anything that writes serialized or
+//     exported output. Catches the laundered violations the per-file
+//     nondeterminism rule provably misses: a helper that returns
+//     time.Now-derived data through two call hops, a slice appended in map
+//     order and printed by a distant caller.
+//   - clockonly: every wall-clock read must be confined to internal/clock.
+//     Flags direct time.Now/Since/Sleep/... calls outside that package,
+//     clock.NewReal construction outside live binaries (cmd/), and —
+//     interprocedurally — calls into module helpers that transitively
+//     reach a raw wall-clock read, even when the direct site carries an
+//     allow directive (an allow covers one site, not its launderers).
+//   - lockflow: a mutex held across a blocking channel operation (send,
+//     receive, default-less select, range-over-channel, sync.WaitGroup.Wait,
+//     time.Sleep), directly or through a callee that may block. This is the
+//     machine check for the PR 2 wake-signaling deadlock shape.
+//   - leakcheck: a goroutine launched with no reachable join path — no
+//     sync.WaitGroup.Done, no range over a module-closed channel, no
+//     receive on a done/quit channel, no completion signal it sends or
+//     closes that anyone receives. These are the leak shapes the serve
+//     drain contract forbids.
+//
+// Like the rest of odinlint, the engine is stdlib-only (go/ast, go/types);
+// soundness limits are documented in DESIGN.md §11. The analyzers register
+// themselves in the odinlint registry on import:
+//
+//	import _ "odin/internal/lint/flow"
+package flow
+
+import (
+	"sync"
+
+	"odin/internal/lint"
+)
+
+func init() {
+	lint.Register(DetflowAnalyzer)
+	lint.Register(ClockonlyAnalyzer)
+	lint.Register(LockflowAnalyzer)
+	lint.Register(LeakcheckAnalyzer)
+}
+
+// shared caches one call graph per package set, so the four analyzers run
+// against a single graph build instead of four. Keyed on the first package
+// pointer: lint.Run hands every module analyzer the identical slice.
+var shared struct {
+	mu    sync.Mutex
+	key   *lint.Package
+	graph *Graph
+}
+
+// graphFor returns the (possibly cached) call graph for the pass's package
+// set.
+func graphFor(mp *lint.ModulePass) *Graph {
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	if len(mp.Pkgs) == 0 {
+		return NewGraph(nil)
+	}
+	if shared.key == mp.Pkgs[0] && shared.graph != nil {
+		return shared.graph
+	}
+	g := NewGraph(mp.Pkgs)
+	shared.key, shared.graph = mp.Pkgs[0], g
+	return g
+}

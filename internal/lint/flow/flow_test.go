@@ -1,0 +1,533 @@
+package flow
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"odin/internal/lint"
+)
+
+const fixGoMod = "module example.com/fix\n\ngo 1.24\n"
+
+// checkFixture lays out a throwaway module, loads and type-checks it, and
+// runs the given analyzers over it through the real lint.Run pipeline (so
+// allow directives and exemptions behave exactly as in production).
+func checkFixture(t *testing.T, analyzers []*lint.Analyzer, files map[string]string) []lint.Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := lint.Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.Run(pkgs, analyzers, lint.Config{})
+}
+
+// wantFinding asserts exactly n diagnostics, each with the given rule, and
+// that at least one lands in a file whose path ends in fileSuffix with a
+// message containing msgPart.
+func wantFinding(t *testing.T, diags []lint.Diagnostic, n int, rule, fileSuffix, msgPart string) {
+	t.Helper()
+	if len(diags) != n {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(diags), n, diags)
+	}
+	hit := false
+	for _, d := range diags {
+		if d.Rule != rule {
+			t.Errorf("diagnostic rule = %q, want %q: %v", d.Rule, rule, d)
+		}
+		if strings.HasSuffix(filepath.ToSlash(d.Pos.Filename), fileSuffix) && strings.Contains(d.Message, msgPart) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("no diagnostic in %s containing %q: %v", fileSuffix, msgPart, diags)
+	}
+}
+
+// --- detflow ---
+
+// A wall-clock read three hops and one package boundary away from the sink:
+// the shape the per-file nondeterminism rule provably cannot see.
+func detflowClockFixture(allow string) map[string]string {
+	return map[string]string{
+		"go.mod": fixGoMod,
+		"internal/stamp/stamp.go": `package stamp
+import "time"
+func nowNanos() int64 { return time.Now().UnixNano() }
+func Laundered() int64 { return nowNanos() }
+`,
+		"report/report.go": `package report
+import (
+	"fmt"
+	"io"
+	"example.com/fix/internal/stamp"
+)
+func indirect() int64 { return stamp.Laundered() }
+func Emit(w io.Writer) {
+	fmt.Fprintf(w, "t=%d\n", indirect())` + allow + `
+}
+`,
+	}
+}
+
+func TestDetflowLaunderedClockInterprocedural(t *testing.T) {
+	t.Parallel()
+	diags := checkFixture(t, []*lint.Analyzer{DetflowAnalyzer}, detflowClockFixture(""))
+	wantFinding(t, diags, 1, "detflow", "report/report.go", "wall-clock time")
+}
+
+func TestDetflowAllowSuppresses(t *testing.T) {
+	t.Parallel()
+	diags := checkFixture(t, []*lint.Analyzer{DetflowAnalyzer},
+		detflowClockFixture(" //lint:allow detflow -- replay-stamped in tests"))
+	if len(diags) != 0 {
+		t.Fatalf("allow directive did not suppress: %v", diags)
+	}
+}
+
+// Map iteration order reaching encoding/json through an intermediate
+// helper; the collect-then-sort sibling must stay clean.
+func TestDetflowMapOrderIntoJSON(t *testing.T) {
+	t.Parallel()
+	files := map[string]string{
+		"go.mod": fixGoMod,
+		"mapjson/mapjson.go": `package mapjson
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+func collect(m map[string]int) []string { return keys(m) }
+func Dump(w io.Writer, m map[string]int) error {
+	return json.NewEncoder(w).Encode(collect(m))
+}
+func DumpSorted(w io.Writer, m map[string]int) error {
+	ks := collect(m)
+	sort.Strings(ks)
+	return json.NewEncoder(w).Encode(ks)
+}
+`,
+	}
+	diags := checkFixture(t, []*lint.Analyzer{DetflowAnalyzer}, files)
+	wantFinding(t, diags, 1, "detflow", "mapjson/mapjson.go", "map iteration order")
+	for _, d := range diags {
+		if strings.Contains(d.Message, "DumpSorted") {
+			t.Fatalf("collect-then-sort idiom flagged: %v", d)
+		}
+	}
+}
+
+// A select whose clauses assign the same variable is a first-responder-wins
+// race; the taint must survive two call hops to the print.
+func TestDetflowSelectRace(t *testing.T) {
+	t.Parallel()
+	files := map[string]string{
+		"go.mod": fixGoMod,
+		"selrace/selrace.go": `package selrace
+import "fmt"
+func pick(a, b chan int) int {
+	var v int
+	select {
+	case v = <-a:
+	case v = <-b:
+	}
+	return v
+}
+func Pick(a, b chan int) int { return pick(a, b) }
+func Show(a, b chan int) { fmt.Println(Pick(a, b)) }
+`,
+	}
+	diags := checkFixture(t, []*lint.Analyzer{DetflowAnalyzer}, files)
+	wantFinding(t, diags, 1, "detflow", "selrace/selrace.go", "select arbitration")
+}
+
+// Fan-in from loop-launched goroutines: receive order is scheduler-chosen.
+func TestDetflowGoroutineOrder(t *testing.T) {
+	t.Parallel()
+	files := map[string]string{
+		"go.mod": fixGoMod,
+		"fanin/fanin.go": `package fanin
+import (
+	"fmt"
+	"io"
+)
+func work() int { return 1 }
+func gather(n int) []int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func() { ch <- work() }()
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch)
+	}
+	return out
+}
+func Render(w io.Writer, n int) { fmt.Fprint(w, gather(n)) }
+`,
+	}
+	diags := checkFixture(t, []*lint.Analyzer{DetflowAnalyzer}, files)
+	wantFinding(t, diags, 1, "detflow", "fanin/fanin.go", "goroutine completion order")
+}
+
+// internal/clock is the sanctioned boundary: taint must not cross it, so
+// code consuming an injected clock stays clean.
+func TestDetflowClockPackageIsBarrier(t *testing.T) {
+	t.Parallel()
+	files := map[string]string{
+		"go.mod": fixGoMod,
+		"internal/clock/clock.go": `package clock
+import "time"
+type Clock interface{ Now() int64 }
+type Real struct{}
+func (Real) Now() int64 { return time.Now().UnixNano() }
+`,
+		"user/user.go": `package user
+import (
+	"fmt"
+	"io"
+	"example.com/fix/internal/clock"
+)
+func Use(w io.Writer, c clock.Clock) { fmt.Fprintf(w, "%d", c.Now()) }
+`,
+	}
+	diags := checkFixture(t, []*lint.Analyzer{DetflowAnalyzer}, files)
+	if len(diags) != 0 {
+		t.Fatalf("injected clock usage flagged despite barrier: %v", diags)
+	}
+}
+
+// --- clockonly ---
+
+func clockonlyFixture(allowRaw, allowStamp, allowCore string) map[string]string {
+	return map[string]string{
+		"go.mod": fixGoMod,
+		"tick/tick.go": `package tick
+import "time"
+func raw() int64 {
+	return time.Now().UnixNano()` + allowRaw + `
+}
+func Stamp() int64 {
+	return raw()` + allowStamp + `
+}
+`,
+		"core/core.go": `package core
+import "example.com/fix/tick"
+func Decide() int64 {
+	return tick.Stamp()` + allowCore + `
+}
+`,
+	}
+}
+
+// The direct read flags, and so does every laundering call edge — across
+// the package boundary, two hops from the time.Now.
+func TestClockonlyLaunderedReadInterprocedural(t *testing.T) {
+	t.Parallel()
+	diags := checkFixture(t, []*lint.Analyzer{ClockonlyAnalyzer}, clockonlyFixture("", "", ""))
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3 (direct read + 2 laundering edges): %v", len(diags), diags)
+	}
+	wantFinding(t, diags, 3, "clockonly", "core/core.go", "transitively reads the wall clock")
+	wantFinding(t, diags, 3, "clockonly", "tick/tick.go", "time.Now reads the wall clock")
+}
+
+// An allow on the direct read covers that one site only: the laundering
+// edges keep flagging until each carries its own justification.
+func TestClockonlyAllowDoesNotCoverLaunderers(t *testing.T) {
+	t.Parallel()
+	diags := checkFixture(t, []*lint.Analyzer{ClockonlyAnalyzer},
+		clockonlyFixture(" //lint:allow clockonly -- sanctioned", "", ""))
+	wantFinding(t, diags, 2, "clockonly", "core/core.go", "transitively reads the wall clock")
+}
+
+func TestClockonlyAllowEverySiteSuppresses(t *testing.T) {
+	t.Parallel()
+	a := " //lint:allow clockonly -- sanctioned"
+	diags := checkFixture(t, []*lint.Analyzer{ClockonlyAnalyzer}, clockonlyFixture(a, a, a))
+	if len(diags) != 0 {
+		t.Fatalf("allow directives did not suppress: %v", diags)
+	}
+}
+
+// Injected clocks are clean; constructing the Real clock outside cmd/ is
+// not, and cmd/ itself is exempt.
+func TestClockonlyNewRealConfinement(t *testing.T) {
+	t.Parallel()
+	files := map[string]string{
+		"go.mod": fixGoMod,
+		"internal/clock/clock.go": `package clock
+import "time"
+type Clock interface{ Now() int64 }
+type Real struct{}
+func (Real) Now() int64 { return time.Now().UnixNano() }
+func NewReal() Clock { return Real{} }
+`,
+		"user/user.go": `package user
+import "example.com/fix/internal/clock"
+func Use(c clock.Clock) int64 { return c.Now() }
+func Bad() int64 { return clock.NewReal().Now() }
+`,
+		"cmd/app/main.go": `package main
+import "example.com/fix/internal/clock"
+func main() { _ = clock.NewReal().Now() }
+`,
+	}
+	diags := checkFixture(t, []*lint.Analyzer{ClockonlyAnalyzer}, files)
+	wantFinding(t, diags, 1, "clockonly", "user/user.go", "clock.NewReal constructs the wall clock")
+}
+
+// --- lockflow ---
+
+func lockflowFixture(allow string) map[string]string {
+	return map[string]string{
+		"go.mod": fixGoMod,
+		"locky/locky.go": `package locky
+import "sync"
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+func (q *Q) push(v int) { q.ch <- v }
+func (q *Q) indirect(v int) { q.push(v) }
+func (q *Q) Bad(v int) {
+	q.mu.Lock()
+	q.indirect(v)` + allow + `
+	q.mu.Unlock()
+}
+func (q *Q) Good(v int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.indirect(v)
+}
+`,
+	}
+}
+
+// The blocking send is two calls below the lock: only the interprocedural
+// may-block set can see it. The unlock-first sibling must stay clean.
+func TestLockflowBlockingCalleeInterprocedural(t *testing.T) {
+	t.Parallel()
+	diags := checkFixture(t, []*lint.Analyzer{LockflowAnalyzer}, lockflowFixture(""))
+	wantFinding(t, diags, 1, "lockflow", "locky/locky.go", "may block on a channel while holding q.mu")
+}
+
+func TestLockflowAllowSuppresses(t *testing.T) {
+	t.Parallel()
+	diags := checkFixture(t, []*lint.Analyzer{LockflowAnalyzer},
+		lockflowFixture(" //lint:allow lockflow -- bounded queue, reviewed"))
+	if len(diags) != 0 {
+		t.Fatalf("allow directive did not suppress: %v", diags)
+	}
+}
+
+// Direct shapes: send, receive, default-less select, Sleep under a lock;
+// defer mu.Unlock() must not clear the lock for the rest of the body.
+func TestLockflowDirectShapes(t *testing.T) {
+	t.Parallel()
+	files := map[string]string{
+		"go.mod": fixGoMod,
+		"shapes/shapes.go": `package shapes
+import (
+	"sync"
+	"time"
+)
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+func (s *S) Send(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v
+}
+func (s *S) Recv() int {
+	s.mu.Lock()
+	v := <-s.ch
+	s.mu.Unlock()
+	return v
+}
+func (s *S) Park() {
+	s.mu.Lock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	}
+	s.mu.Unlock()
+}
+func (s *S) Nap() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}
+func (s *S) NonBlocking(v int) {
+	s.mu.Lock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+	s.mu.Unlock()
+}
+`,
+	}
+	diags := checkFixture(t, []*lint.Analyzer{LockflowAnalyzer}, files)
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4 (send, receive, select, sleep): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "NonBlocking") {
+			t.Fatalf("select-with-default flagged: %v", d)
+		}
+	}
+}
+
+// --- leakcheck ---
+
+func leakcheckFixture(allow string) map[string]string {
+	return map[string]string{
+		"go.mod": fixGoMod,
+		"leaky/leaky.go": `package leaky
+type P struct{ jobs chan int }
+func (p *P) Start() {
+	go p.run()
+	go p.tick()` + allow + `
+}
+func (p *P) run() { p.drain() }
+func (p *P) drain() {
+	for range p.jobs {
+	}
+}
+func (p *P) tick() {
+	for {
+		p.step()
+	}
+}
+func (p *P) step() {}
+func (p *P) Stop() { close(p.jobs) }
+`,
+	}
+}
+
+// run is joined only through its callee (drain ranges over a channel Stop
+// closes); tick has no join path anywhere in its call tree.
+func TestLeakcheckJoinThroughCalleeInterprocedural(t *testing.T) {
+	t.Parallel()
+	diags := checkFixture(t, []*lint.Analyzer{LeakcheckAnalyzer}, leakcheckFixture(""))
+	wantFinding(t, diags, 1, "leakcheck", "leaky/leaky.go", "without a reachable join")
+}
+
+func TestLeakcheckAllowSuppresses(t *testing.T) {
+	t.Parallel()
+	diags := checkFixture(t, []*lint.Analyzer{LeakcheckAnalyzer},
+		leakcheckFixture(" //lint:allow leakcheck -- process-lifetime ticker, reviewed"))
+	if len(diags) != 0 {
+		t.Fatalf("allow directive did not suppress: %v", diags)
+	}
+}
+
+// WaitGroup.Done, done-channel receives, and consumed completion signals
+// all count as joins, for literals and named launches alike.
+func TestLeakcheckJoinShapes(t *testing.T) {
+	t.Parallel()
+	files := map[string]string{
+		"go.mod": fixGoMod,
+		"joins/joins.go": `package joins
+import "sync"
+type W struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+	done chan struct{}
+}
+func (w *W) Start() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+	}()
+	go w.watch()
+	go w.signal()
+}
+func (w *W) watch() { <-w.quit }
+func (w *W) signal() { close(w.done) }
+func (w *W) Stop() {
+	close(w.quit)
+	<-w.done
+	w.wg.Wait()
+}
+`,
+	}
+	diags := checkFixture(t, []*lint.Analyzer{LeakcheckAnalyzer}, files)
+	if len(diags) != 0 {
+		t.Fatalf("joined goroutines flagged: %v", diags)
+	}
+}
+
+// cmd/ is exempt: process-lifetime goroutines in live binaries are joined
+// by exit.
+func TestLeakcheckCommandLayerExempt(t *testing.T) {
+	t.Parallel()
+	files := map[string]string{
+		"go.mod": fixGoMod,
+		"cmd/app/main.go": `package main
+func main() {
+	go spin()
+	select {}
+}
+func spin() {
+	for {
+	}
+}
+`,
+	}
+	diags := checkFixture(t, []*lint.Analyzer{LeakcheckAnalyzer}, files)
+	if len(diags) != 0 {
+		t.Fatalf("cmd-layer goroutine flagged: %v", diags)
+	}
+}
+
+// --- module integration ---
+
+// The real tree must be clean under the full nine-analyzer suite with the
+// production exemption set: every violation is either fixed or carries a
+// reviewed //lint:allow.
+func TestModuleCleanWithFlowAnalyzers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := lint.Load("../../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := lint.Analyzers()
+	if len(analyzers) != 9 {
+		var names []string
+		for _, a := range analyzers {
+			names = append(names, a.Name)
+		}
+		t.Fatalf("registry has %d analyzers, want 9: %v", len(analyzers), names)
+	}
+	cfg := lint.Config{Exempt: map[string][]string{
+		"nondeterminism": {"internal/clock/real.go"},
+	}}
+	diags := lint.Run(pkgs, analyzers, cfg)
+	for _, d := range diags {
+		t.Errorf("unexplained finding: %v", d)
+	}
+}

@@ -1,0 +1,323 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"odin/internal/lint"
+)
+
+// Node is one analyzable function body: a declared function or method, or
+// a goroutine-launched function literal (synthetic node — Fn is nil and
+// GoLit is set). Function literals that are not launched with `go` are
+// analyzed as part of their enclosing function, so closure-heavy code
+// attributes its calls to the function that actually runs them.
+type Node struct {
+	// Fn is the declared function object; nil for goroutine literals.
+	Fn *types.Func
+	// Pkg is the package owning the body.
+	Pkg *lint.Package
+	// Decl is the declaration (nil for goroutine literals).
+	Decl *ast.FuncDecl
+	// GoLit is the launched literal for synthetic goroutine nodes.
+	GoLit *ast.FuncLit
+	// Body is the function body (never nil; bodyless declarations get no
+	// node).
+	Body *ast.BlockStmt
+
+	// Calls lists every synchronous call site in the body, including calls
+	// inside non-goroutine function literals and deferred calls.
+	Calls []Edge
+	// Gos lists every goroutine launch in the body.
+	Gos []GoSite
+	// Callers is the reverse adjacency: module nodes with a synchronous
+	// call edge to this node.
+	Callers []*Node
+}
+
+// Name renders a human-readable identifier for diagnostics.
+func (n *Node) Name() string {
+	if n.Fn != nil {
+		return n.Fn.Name()
+	}
+	return "goroutine literal"
+}
+
+// InCommandLayer reports whether the node lives under cmd/ or examples/.
+func (n *Node) InCommandLayer() bool {
+	rel := strings.TrimPrefix(n.Pkg.Path, n.Pkg.ModulePath)
+	rel = strings.TrimPrefix(rel, "/")
+	return strings.HasPrefix(rel, "cmd/") || strings.HasPrefix(rel, "examples/") ||
+		rel == "cmd" || rel == "examples"
+}
+
+// Edge is one synchronous call site. Exactly one of Callee (module-internal
+// target) and Ext (external target, typically stdlib) is set; interface
+// method calls produce one edge per module implementation. Calls through
+// function values resolve to neither and produce no edge — a documented
+// false-negative shape (DESIGN.md §11).
+type Edge struct {
+	Site   *ast.CallExpr
+	Callee *Node
+	Ext    *types.Func
+}
+
+// GoSite is one goroutine launch.
+type GoSite struct {
+	Stmt *ast.GoStmt
+	// Lit is the launched node for `go func(){...}()` launches.
+	Lit *Node
+	// Callees are the launched module functions for named launches
+	// (several for interface-method launches).
+	Callees []*Node
+	// Ext is the launched external function, when the target is not in the
+	// module.
+	Ext *types.Func
+}
+
+// Graph is the module-wide call graph.
+type Graph struct {
+	// Nodes holds every analyzable body in deterministic order: declared
+	// functions first (package path, then source position), goroutine
+	// literals interleaved after their enclosing declaration.
+	Nodes []*Node
+
+	byFn    map[*types.Func]*Node
+	methods map[string][]*Node // method name -> method nodes, for interface resolution
+}
+
+// NodeOf returns the node for a declared function, or nil.
+func (g *Graph) NodeOf(fn *types.Func) *Node { return g.byFn[fn] }
+
+// NewGraph builds the call graph for the package set: one node per
+// function declaration with a body, plus synthetic nodes for goroutine
+// literals, with static call edges, interface calls resolved to every
+// module implementation, and reverse adjacency.
+func NewGraph(pkgs []*lint.Package) *Graph {
+	g := &Graph{
+		byFn:    make(map[*types.Func]*Node),
+		methods: make(map[string][]*Node),
+	}
+	// Pass 1: declare nodes, so edge resolution sees the full function set.
+	var decls []*Node
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := &Node{Fn: fn, Pkg: pkg, Decl: fd, Body: fd.Body}
+				g.byFn[fn] = n
+				decls = append(decls, n)
+				if fd.Recv != nil {
+					g.methods[fn.Name()] = append(g.methods[fn.Name()], n)
+				}
+			}
+		}
+	}
+	sort.SliceStable(decls, func(i, j int) bool {
+		if decls[i].Pkg.Path != decls[j].Pkg.Path {
+			return decls[i].Pkg.Path < decls[j].Pkg.Path
+		}
+		return decls[i].Decl.Pos() < decls[j].Decl.Pos()
+	})
+	// Pass 2: walk bodies, creating edges and goroutine nodes.
+	for _, n := range decls {
+		g.Nodes = append(g.Nodes, n)
+		g.walkBody(n)
+	}
+	// Pass 3: reverse adjacency.
+	for _, n := range g.Nodes {
+		for _, e := range n.Calls {
+			if e.Callee != nil {
+				e.Callee.Callers = append(e.Callee.Callers, n)
+			}
+		}
+	}
+	return g
+}
+
+// walkBody fills n.Calls and n.Gos, descending into non-goroutine function
+// literals (attributed to n) and spinning off synthetic nodes for
+// goroutine literals. Appends goroutine nodes to g.Nodes (and walks them,
+// recursively).
+func (g *Graph) walkBody(n *Node) {
+	ast.Inspect(n.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			site := GoSite{Stmt: node}
+			if lit, ok := ast.Unparen(node.Call.Fun).(*ast.FuncLit); ok {
+				ln := &Node{Pkg: n.Pkg, GoLit: lit, Body: lit.Body}
+				site.Lit = ln
+				g.Nodes = append(g.Nodes, ln)
+				g.walkBody(ln)
+			} else {
+				callees, ext := g.resolve(n.Pkg, node.Call)
+				site.Callees, site.Ext = callees, ext
+			}
+			n.Gos = append(n.Gos, site)
+			// Launch arguments evaluate synchronously in the launcher.
+			for _, arg := range node.Call.Args {
+				g.walkExpr(n, arg)
+			}
+			return false
+		case *ast.CallExpr:
+			callees, ext := g.resolve(n.Pkg, node)
+			for _, c := range callees {
+				n.Calls = append(n.Calls, Edge{Site: node, Callee: c})
+			}
+			if ext != nil {
+				n.Calls = append(n.Calls, Edge{Site: node, Ext: ext})
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// walkExpr records call edges inside an expression subtree (used for
+// goroutine launch arguments, which run synchronously).
+func (g *Graph) walkExpr(n *Node, e ast.Expr) {
+	ast.Inspect(e, func(node ast.Node) bool {
+		if call, ok := node.(*ast.CallExpr); ok {
+			callees, ext := g.resolve(n.Pkg, call)
+			for _, c := range callees {
+				n.Calls = append(n.Calls, Edge{Site: call, Callee: c})
+			}
+			if ext != nil {
+				n.Calls = append(n.Calls, Edge{Site: call, Ext: ext})
+			}
+		}
+		return true
+	})
+}
+
+// resolve maps a call expression to its targets. Interface method calls
+// resolve to every module method implementing the interface; static calls
+// resolve to one module node or one external function. Builtins,
+// conversions, and calls of function-typed values resolve to nothing.
+func (g *Graph) resolve(pkg *lint.Package, call *ast.CallExpr) ([]*Node, *types.Func) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, nil
+	}
+	fn, _ := pkg.Info.ObjectOf(id).(*types.Func)
+	if fn == nil {
+		return nil, nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			return g.implementers(fn.Name(), iface), fn
+		}
+	}
+	if n := g.byFn[fn]; n != nil {
+		return []*Node{n}, nil
+	}
+	return nil, fn
+}
+
+// implementers returns the module methods named name whose receiver type
+// satisfies iface. The dynamic callee of an interface call is any of them
+// (plus unknown external implementations — the returned Ext edge keeps the
+// interface method visible to external predicates).
+func (g *Graph) implementers(name string, iface *types.Interface) []*Node {
+	var out []*Node
+	for _, m := range g.methods[name] {
+		sig := m.Fn.Type().(*types.Signature)
+		recv := sig.Recv().Type()
+		if types.Implements(recv, iface) {
+			out = append(out, m)
+			continue
+		}
+		// Value receivers implement through the pointer type too; pointer
+		// receivers only through it.
+		if _, isPtr := recv.Underlying().(*types.Pointer); !isPtr {
+			if types.Implements(types.NewPointer(recv), iface) {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// Reaching computes the set of nodes from which a matching call is
+// transitively reachable along synchronous call edges: every node where
+// seed is true or that calls an external function matching ext, plus every
+// node with a call chain into that set. Nodes where barrier is true
+// neither seed nor propagate — they are sanctioned laundering points (the
+// internal/clock package for wall-clock analyses). Goroutine launches are
+// not followed: what a launched goroutine does is not something its
+// launcher waits on. Either predicate may be nil.
+func (g *Graph) Reaching(seed func(*Node) bool, ext func(*types.Func) bool, barrier func(*Node) bool) map[*Node]bool {
+	reached := make(map[*Node]bool)
+	var queue []*Node
+	mark := func(n *Node) {
+		if reached[n] || (barrier != nil && barrier(n)) {
+			return
+		}
+		reached[n] = true
+		queue = append(queue, n)
+	}
+	for _, n := range g.Nodes {
+		if seed != nil && seed(n) {
+			mark(n)
+			continue
+		}
+		if ext != nil {
+			for _, e := range n.Calls {
+				if e.Ext != nil && ext(e.Ext) {
+					mark(n)
+					break
+				}
+			}
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, caller := range n.Callers {
+			mark(caller)
+		}
+	}
+	return reached
+}
+
+// rootObject resolves the variable or field identifying an lvalue-ish
+// expression: the selected field for selector chains (s.jobs and t.chip.jobs
+// share the jobs field object — channel identity is field-level, not
+// instance-level), the variable for plain identifiers, looking through
+// parens, indexing, and dereference.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			return info.ObjectOf(x.Sel)
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// extIs reports whether fn is the named function/method of the named
+// package (fn.Pkg is nil for error.Error and friends).
+func extIs(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

@@ -1,0 +1,173 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"odin/internal/lint"
+)
+
+// LeakcheckAnalyzer flags goroutine launches with no reachable join or
+// termination path. A launch is considered joined when the launched body
+// (or a transitive synchronous callee of it) does at least one of:
+//
+//   - call sync.WaitGroup.Done — the launcher-side Wait is the join;
+//   - range over a channel that the module close()s somewhere — the range
+//     terminates at drain time;
+//   - receive from a done/quit channel the module closes or sends to, or
+//     from a context Done() channel;
+//   - send to or close a completion channel that the module receives from
+//     somewhere — the goroutine signals, a counterpart consumes.
+//
+// Anything else is a goroutine nothing can wait for: the leak shape the
+// serve drain contract ("every worker joined, every request answered
+// exactly once") forbids. cmd/ and examples/ are exempt — process-lifetime
+// goroutines in live binaries are joined by exit.
+//
+// Channel identity is field-level (rootObject): s.queue in the worker and
+// close(s.queue) in drain match through the shared field object. Launches
+// of function values (`go fn()` where fn is a variable) resolve to no node
+// and are skipped — a documented false-negative shape (DESIGN.md §11).
+var LeakcheckAnalyzer = &lint.Analyzer{
+	Name:      "leakcheck",
+	Doc:       "every goroutine outside cmd/ must have a reachable join: WaitGroup.Done, range over a closed channel, a done-channel receive, or a consumed completion signal",
+	RunModule: runLeakcheck,
+}
+
+// chanUse is the module-wide channel usage registry, keyed by the
+// field/variable object identifying the channel.
+type chanUse struct {
+	closed map[types.Object]bool // passed to builtin close()
+	sent   map[types.Object]bool // target of a channel send
+	recvd  map[types.Object]bool // received from (<-x, range x, select comm)
+}
+
+func collectChanUse(g *Graph) *chanUse {
+	u := &chanUse{
+		closed: make(map[types.Object]bool),
+		sent:   make(map[types.Object]bool),
+		recvd:  make(map[types.Object]bool),
+	}
+	for _, n := range g.Nodes {
+		info := n.Pkg.Info
+		ast.Inspect(n.Body, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "close" {
+					if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin && len(node.Args) == 1 {
+						if obj := rootObject(info, node.Args[0]); obj != nil {
+							u.closed[obj] = true
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if obj := rootObject(info, node.Chan); obj != nil {
+					u.sent[obj] = true
+				}
+			case *ast.UnaryExpr:
+				if node.Op.String() == "<-" {
+					if obj := rootObject(info, node.X); obj != nil {
+						u.recvd[obj] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if isChanExpr(info, node.X) {
+					if obj := rootObject(info, node.X); obj != nil {
+						u.recvd[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return u
+}
+
+func runLeakcheck(mp *lint.ModulePass) {
+	g := graphFor(mp)
+	use := collectChanUse(g)
+	// joinable: nodes that directly contain a join/termination pattern, or
+	// call sync.WaitGroup.Done, closed over transitive synchronous callers —
+	// a launched function is joined if anything it synchronously calls joins.
+	joinable := g.Reaching(
+		func(n *Node) bool { return directlyJoins(n, use) },
+		func(fn *types.Func) bool {
+			return fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Done"
+		},
+		nil,
+	)
+	for _, n := range g.Nodes {
+		if n.InCommandLayer() {
+			continue
+		}
+		for _, site := range n.Gos {
+			targets := site.Callees
+			if site.Lit != nil {
+				targets = []*Node{site.Lit}
+			}
+			if len(targets) == 0 {
+				continue // ext or func-value launch: unresolvable, documented false negative
+			}
+			joined := false
+			for _, t := range targets {
+				if joinable[t] {
+					joined = true
+					break
+				}
+			}
+			if !joined {
+				mp.Reportf(n.Pkg, site.Stmt.Pos(),
+					"goroutine launched without a reachable join: no WaitGroup.Done, no range over a closed channel, no done-channel receive, no consumed completion signal; the drain contract cannot account for it")
+			}
+		}
+	}
+}
+
+// directlyJoins reports whether the node's own body (excluding nested
+// goroutine literals) contains a join/termination pattern per the module
+// channel registry.
+func directlyJoins(n *Node, use *chanUse) bool {
+	info := n.Pkg.Info
+	found := false
+	inspectOwn(n.Body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.RangeStmt:
+			if isChanExpr(info, node.X) {
+				if obj := rootObject(info, node.X); obj != nil && use.closed[obj] {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if node.Op.String() == "<-" {
+				// <-ctx.Done() style: receiving from a Done() method result is
+				// the context cancellation pattern.
+				if call, ok := ast.Unparen(node.X).(*ast.CallExpr); ok {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+						found = true
+						return false
+					}
+				}
+				if obj := rootObject(info, node.X); obj != nil && (use.closed[obj] || use.sent[obj]) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := rootObject(info, node.Chan); obj != nil && use.recvd[obj] {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin && len(node.Args) == 1 {
+					if obj := rootObject(info, node.Args[0]); obj != nil && use.recvd[obj] {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,374 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"odin/internal/lint"
+)
+
+// LockflowAnalyzer flags mutex-held-across-blocking-operation shapes: a
+// sync.Mutex/RWMutex locked and then, before the matching unlock, a channel
+// send/receive, default-less select, range over a channel, WaitGroup.Wait,
+// or a call into a module function that may do any of those. This is the
+// machine check for the PR 2 wake-signaling deadlock: the dispatcher held a
+// lock while parking on a channel the lock holder's counterpart needed the
+// lock to feed.
+//
+// The walk is per-function and path-insensitive in a deliberate direction:
+// a lock taken at the top level stays held through branch bodies (branches
+// get a copy of the state), and `defer mu.Unlock()` does not clear the lock
+// for the remainder of the body — which is exactly the window the deadlock
+// needs. Goroutine bodies launched inside the region run on their own
+// stack and are walked as their own nodes, lock-free.
+var LockflowAnalyzer = &lint.Analyzer{
+	Name:      "lockflow",
+	Doc:       "no blocking channel operation (send, receive, default-less select, WaitGroup.Wait, Sleep) while holding a mutex, directly or through a callee",
+	RunModule: runLockflow,
+}
+
+// blockingExt matches external calls that park the goroutine.
+func blockingExt(fn *types.Func) bool {
+	if extIs(fn, "time", "Sleep") {
+		return true
+	}
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait"
+}
+
+func runLockflow(mp *lint.ModulePass) {
+	g := graphFor(mp)
+	// mayBlock: nodes whose body (or a transitive callee's body) contains a
+	// blocking channel operation. Goroutine launches are not followed — the
+	// launcher does not park on what its goroutine does.
+	mayBlock := g.Reaching(
+		func(n *Node) bool { return directlyBlocks(n) },
+		blockingExt,
+		nil,
+	)
+	for _, n := range g.Nodes {
+		n := n
+		w := &lockWalk{
+			g:        g,
+			n:        n,
+			mayBlock: mayBlock,
+			seen:     make(map[ast.Node]bool),
+			report: func(site ast.Node, format string, args ...any) {
+				mp.Reportf(n.Pkg, site.Pos(), format, args...)
+			},
+		}
+		w.stmts(n.Body.List, make(map[string]int))
+	}
+}
+
+// directlyBlocks reports whether the node's own body (excluding nested
+// goroutine literals, which are separate nodes) contains a blocking channel
+// operation.
+func directlyBlocks(n *Node) bool {
+	found := false
+	inspectOwn(n.Body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if node.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanExpr(n.Pkg.Info, node.X) {
+				found = true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(node) {
+				found = true
+			}
+			// A select with a default is non-blocking as a unit; its clause
+			// bodies still run and are scanned below, but the comm operations
+			// themselves never park. Descend anyway: clause bodies can block.
+		}
+		return !found
+	})
+	return found
+}
+
+// inspectOwn walks body like ast.Inspect but does not descend into
+// goroutine-launched function literals (they execute on another stack).
+func inspectOwn(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	var goLits map[*ast.FuncLit]bool
+	ast.Inspect(body, func(node ast.Node) bool {
+		if gs, ok := node.(*ast.GoStmt); ok {
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				if goLits == nil {
+					goLits = make(map[*ast.FuncLit]bool)
+				}
+				goLits[lit] = true
+			}
+		}
+		if lit, ok := node.(*ast.FuncLit); ok && goLits[lit] {
+			return false
+		}
+		return fn(node)
+	})
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isChanExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// lockWalk threads a held-lock multiset (keyed by the rendered receiver
+// expression, e.g. "s.mu") through a function body.
+type lockWalk struct {
+	g        *Graph
+	n        *Node
+	mayBlock map[*Node]bool
+	seen     map[ast.Node]bool // dedup: one report per site
+	report   func(site ast.Node, format string, args ...any)
+}
+
+func (w *lockWalk) emit(site ast.Node, format string, args ...any) {
+	if w.seen[site] {
+		return
+	}
+	w.seen[site] = true
+	w.report(site, format, args...)
+}
+
+func heldKeys(held map[string]int) string {
+	var keys []string
+	for k, c := range held {
+		if c > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+func anyHeld(held map[string]int) bool {
+	for _, c := range held {
+		if c > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneHeld(held map[string]int) map[string]int {
+	out := make(map[string]int, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// classifyLock recognizes sync mutex lock/unlock calls (including promoted
+// methods on embedded mutexes and sync.Locker interface calls) and returns
+// the lock key and +1/-1 delta; ok is false for everything else.
+func classifyLock(info *types.Info, call *ast.CallExpr) (key string, delta int, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	fn, _ := info.ObjectOf(sel.Sel).(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		delta = 1
+	case "Unlock", "RUnlock":
+		delta = -1
+	default:
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), delta, true
+}
+
+// stmts walks a statement list, threading lock state; returns the state at
+// the end of the list.
+func (w *lockWalk) stmts(list []ast.Stmt, held map[string]int) map[string]int {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *lockWalk) stmt(s ast.Stmt, held map[string]int) map[string]int {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, delta, ok := classifyLock(w.n.Pkg.Info, call); ok {
+				held[key] += delta
+				if held[key] <= 0 {
+					delete(held, key)
+				}
+				return held
+			}
+		}
+		w.checkExpr(s.X, held)
+	case *ast.SendStmt:
+		if anyHeld(held) {
+			w.emit(s, "channel send while holding %s; a blocked send under a lock is the deadlock shape this module has shipped before", heldKeys(held))
+		}
+		w.checkExpr(s.Chan, held)
+		w.checkExpr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		w.checkExpr0(s, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// Deferred calls run at return, when the lock may or may not still be
+		// held — and `defer mu.Unlock()` must NOT clear the lock for the rest
+		// of the body. Argument expressions evaluate now, though.
+		for _, arg := range s.Call.Args {
+			w.checkExpr(arg, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs on its own stack (walked as its own node);
+		// launch arguments evaluate synchronously here.
+		for _, arg := range s.Call.Args {
+			w.checkExpr(arg, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.stmts(s.Body.List, cloneHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, cloneHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, held)
+		}
+		inner := w.stmts(s.Body.List, cloneHeld(held))
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		if isChanExpr(w.n.Pkg.Info, s.X) && anyHeld(held) {
+			w.emit(s, "range over a channel while holding %s; receiving under a lock blocks every other path to the lock", heldKeys(held))
+		}
+		w.checkExpr(s.X, held)
+		w.stmts(s.Body.List, cloneHeld(held))
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) && anyHeld(held) {
+			w.emit(s, "select with no default while holding %s; the goroutine parks with the lock held", heldKeys(held))
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			w.stmts(cc.Body, cloneHeld(held))
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.stmts(cc.Body, cloneHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.stmts(cc.Body, cloneHeld(held))
+		}
+	case *ast.BlockStmt:
+		held = w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		held = w.stmt(s.Stmt, held)
+	}
+	return held
+}
+
+// checkExpr0 scans a statement's expressions via inspectOwn (used for decl
+// statements, which can embed initializer calls).
+func (w *lockWalk) checkExpr0(s ast.Stmt, held map[string]int) {
+	if !anyHeld(held) {
+		return
+	}
+	inspectOwn(&ast.BlockStmt{List: []ast.Stmt{s}}, func(node ast.Node) bool {
+		if e, ok := node.(ast.Expr); ok {
+			w.checkExprShallow(e, held)
+		}
+		return true
+	})
+}
+
+// checkExpr reports blocking operations inside an expression evaluated with
+// locks held: channel receives, and calls that block or may transitively
+// block. Function literals are skipped — they only block when invoked, and
+// invocation sites are where the call edge is charged.
+func (w *lockWalk) checkExpr(e ast.Expr, held map[string]int) {
+	if e == nil || !anyHeld(held) {
+		return
+	}
+	ast.Inspect(e, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		if e, ok := node.(ast.Expr); ok {
+			w.checkExprShallow(e, held)
+		}
+		return true
+	})
+}
+
+func (w *lockWalk) checkExprShallow(e ast.Expr, held map[string]int) {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op.String() == "<-" {
+			w.emit(e, "channel receive while holding %s; the goroutine parks with the lock held", heldKeys(held))
+		}
+	case *ast.CallExpr:
+		if _, _, ok := classifyLock(w.n.Pkg.Info, e); ok {
+			return // lock/unlock themselves are not blocking channel ops
+		}
+		callees, ext := w.g.resolve(w.n.Pkg, e)
+		if ext != nil && blockingExt(ext) {
+			w.emit(e, "%s.%s while holding %s; the goroutine parks with the lock held", ext.Pkg().Name(), ext.Name(), heldKeys(held))
+			return
+		}
+		for _, c := range callees {
+			if w.mayBlock[c] {
+				w.emit(e, "call to %s may block on a channel while holding %s", calleeLabel(c), heldKeys(held))
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,821 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Taint is a small lattice of nondeterminism reasons. A value's taint is
+// the union of the sources it (transitively) derives from.
+type Taint uint8
+
+const (
+	// TaintClock marks values derived from a wall-clock read.
+	TaintClock Taint = 1 << iota
+	// TaintMapOrder marks values whose content depends on map iteration
+	// order (order-sensitive accumulation or sequence construction).
+	TaintMapOrder
+	// TaintSelect marks values assigned in more than one ready-arbitrated
+	// select case (first-responder-wins races).
+	TaintSelect
+	// TaintGoOrder marks values received from a channel fed by several
+	// goroutines, whose completion order is scheduler-chosen.
+	TaintGoOrder
+)
+
+// String names the reasons, comma-separated, for diagnostics.
+func (t Taint) String() string {
+	var parts []string
+	if t&TaintClock != 0 {
+		parts = append(parts, "wall-clock time")
+	}
+	if t&TaintMapOrder != 0 {
+		parts = append(parts, "map iteration order")
+	}
+	if t&TaintSelect != 0 {
+		parts = append(parts, "select arbitration")
+	}
+	if t&TaintGoOrder != 0 {
+		parts = append(parts, "goroutine completion order")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// val is the abstract value of the taint interpreter: which sources the
+// value derives from, which parameters of the enclosing function it
+// derives from (a bitset, for building interprocedural summaries), and
+// whether it derives from a map-range loop variable (the order-source
+// marker that turns accumulation and append into TaintMapOrder).
+type val struct {
+	t      Taint
+	params uint64
+	order  bool
+}
+
+func (v val) union(w val) val {
+	return val{t: v.t | w.t, params: v.params | w.params, order: v.order || w.order}
+}
+
+func (v val) eq(w val) bool { return v == w }
+
+// summary is one function's interprocedural contract, computed to a
+// fixpoint by the worklist solver.
+type summary struct {
+	// returns is taint carried by the function's results independent of
+	// its arguments (e.g. it returns time.Now-derived data).
+	returns Taint
+	// paramToRet bit i means argument i flows into a result, so argument
+	// taint passes through the call (identity-shaped helpers).
+	paramToRet uint64
+	// paramSink bit i means argument i flows into a serialized-output sink
+	// inside the function (directly or through further calls).
+	paramSink uint64
+}
+
+func (s summary) eq(o summary) bool { return s == o }
+
+// taintAnalysis runs the module-wide nondeterminism taint solve.
+type taintAnalysis struct {
+	g    *Graph
+	sums map[*Node]summary
+	// sanitize marks nodes whose summaries are forced clean: the sanctioned
+	// laundering boundary (internal/clock — the Virtual/Real split is
+	// enforced separately, by clockonly and the nondeterminism exemption).
+	sanitize func(*Node) bool
+}
+
+func newTaintAnalysis(g *Graph, sanitize func(*Node) bool) *taintAnalysis {
+	return &taintAnalysis{g: g, sums: make(map[*Node]summary), sanitize: sanitize}
+}
+
+// solve iterates intraprocedural analysis over the call graph until every
+// summary is stable. Summaries only grow, so the fixpoint terminates.
+func (a *taintAnalysis) solve() {
+	queued := make(map[*Node]bool, len(a.g.Nodes))
+	var queue []*Node
+	for _, n := range a.g.Nodes {
+		queue = append(queue, n)
+		queued[n] = true
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		queued[n] = false
+		sum := a.analyze(n, nil)
+		if a.sanitize != nil && a.sanitize(n) {
+			sum = summary{}
+		}
+		if !sum.eq(a.sums[n]) {
+			a.sums[n] = sum
+			for _, caller := range n.Callers {
+				if !queued[caller] {
+					queued[caller] = true
+					queue = append(queue, caller)
+				}
+			}
+		}
+	}
+}
+
+// report re-runs the interpreter over n with converged summaries, emitting
+// every sink call whose argument carries taint.
+func (a *taintAnalysis) report(n *Node, emit func(site ast.Node, t Taint, sink string)) {
+	seen := make(map[token.Pos]bool)
+	a.analyze(n, func(site ast.Node, t Taint, sink string) {
+		if seen[site.Pos()] {
+			return
+		}
+		seen[site.Pos()] = true
+		emit(site, t, sink)
+	})
+}
+
+// funcEval is one intraprocedural pass: a flow-insensitive fixpoint over
+// the function body, with parameters seeded as themselves and callee
+// effects taken from the current summaries.
+type funcEval struct {
+	a   *taintAnalysis
+	n   *Node
+	env map[types.Object]val
+	// results are the named result objects (bare returns read them).
+	results []types.Object
+	// sorted holds objects passed to an in-place sort anywhere in the
+	// function: the collect-then-sort idiom is sanctioned, so MapOrder is
+	// masked on every write to them (conservatively keeping monotonicity;
+	// a sort *after* the leak also masks — a documented soundness limit).
+	sorted map[types.Object]bool
+	// goChans holds channel objects fed by two or more goroutines (or one
+	// launched in a loop): receives from them yield TaintGoOrder.
+	goChans map[types.Object]bool
+	sum     summary
+	emit    func(site ast.Node, t Taint, sink string)
+	changed bool
+}
+
+// analyze interprets n's body. With emit nil it computes the summary; with
+// emit set it additionally reports tainted sink arguments.
+func (a *taintAnalysis) analyze(n *Node, emit func(ast.Node, Taint, string)) summary {
+	e := &funcEval{
+		a:       a,
+		n:       n,
+		env:     make(map[types.Object]val),
+		sorted:  make(map[types.Object]bool),
+		goChans: make(map[types.Object]bool),
+		emit:    emit,
+	}
+	e.prescan()
+	e.seedParams()
+	for pass := 0; pass < 32; pass++ {
+		e.changed = false
+		e.block(n.Body, false)
+		if !e.changed {
+			break
+		}
+	}
+	return e.sum
+}
+
+// inPlaceSorts are stdlib functions that sort their argument in place.
+var inPlaceSorts = map[string]map[string]bool{
+	"sort":   {"Strings": true, "Ints": true, "Float64s": true, "Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedCopies are stdlib functions returning a sorted copy: their result
+// drops MapOrder.
+var sortedCopies = map[string]bool{"Sorted": true, "SortedFunc": true, "SortedStableFunc": true}
+
+// prescan finds (a) objects sorted in place anywhere in the function and
+// (b) channels with order-nondeterministic producers: fed by goroutines
+// launched in a loop, or by two or more goroutine launch sites.
+func (e *funcEval) prescan() {
+	ast.Inspect(e.n.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id := calleeIdent(call)
+		if id == nil {
+			return true
+		}
+		fn, _ := e.n.Pkg.Info.ObjectOf(id).(*types.Func)
+		if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+			return true
+		}
+		if byPkg := inPlaceSorts[fn.Pkg().Path()]; byPkg[fn.Name()] {
+			if obj := rootObject(e.n.Pkg.Info, call.Args[0]); obj != nil {
+				e.sorted[obj] = true
+			}
+		}
+		return true
+	})
+	weights := make(map[types.Object]int)
+	var scanGos func(node ast.Node, loopDepth int)
+	scanGos = func(root ast.Node, depth int) {
+		ast.Inspect(root, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.ForStmt:
+				scanGos(node.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				scanGos(node.Body, depth+1)
+				return false
+			case *ast.GoStmt:
+				lit, ok := ast.Unparen(node.Call.Fun).(*ast.FuncLit)
+				if !ok {
+					return false
+				}
+				w := 1
+				if depth > 0 {
+					w = 2 // launched per iteration: at least two producers
+				}
+				ast.Inspect(lit.Body, func(inner ast.Node) bool {
+					if send, ok := inner.(*ast.SendStmt); ok {
+						if obj := rootObject(e.n.Pkg.Info, send.Chan); obj != nil {
+							weights[obj] += w
+						}
+					}
+					return true
+				})
+				return false
+			}
+			return true
+		})
+	}
+	scanGos(e.n.Body, 0)
+	for obj, w := range weights {
+		if w >= 2 {
+			e.goChans[obj] = true
+		}
+	}
+}
+
+func (e *funcEval) seedParams() {
+	idx := 0
+	seed := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			for _, name := range f.Names {
+				if obj := e.n.Pkg.Info.ObjectOf(name); obj != nil {
+					e.set(obj, val{params: 1 << uint(idx&63)})
+				}
+				idx++
+			}
+			if len(f.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	var ft *ast.FuncType
+	if e.n.Decl != nil {
+		if e.n.Decl.Recv != nil {
+			// The receiver counts as a leading parameter for summaries.
+			seed(e.n.Decl.Recv)
+		}
+		ft = e.n.Decl.Type
+	} else {
+		ft = e.n.GoLit.Type
+	}
+	seed(ft.Params)
+	if ft.Results != nil {
+		for _, f := range ft.Results.List {
+			for _, name := range f.Names {
+				e.results = append(e.results, e.n.Pkg.Info.ObjectOf(name))
+			}
+		}
+	}
+}
+
+// set joins v into obj's abstract value (weak update; sorted objects mask
+// MapOrder).
+func (e *funcEval) set(obj types.Object, v val) {
+	if obj == nil {
+		return
+	}
+	if e.sorted[obj] {
+		v.t &^= TaintMapOrder
+		v.order = false
+	}
+	nv := e.env[obj].union(v)
+	if !nv.eq(e.env[obj]) {
+		e.env[obj] = nv
+		e.changed = true
+	}
+}
+
+// block interprets a statement list. inLit is true inside non-goroutine
+// function literals, whose return statements do not feed the summary.
+func (e *funcEval) block(b *ast.BlockStmt, inLit bool) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		e.stmt(s, inLit)
+	}
+}
+
+func (e *funcEval) stmt(s ast.Stmt, inLit bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		e.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				var rhs val
+				for _, x := range vs.Values {
+					rhs = rhs.union(e.expr(x))
+				}
+				for _, name := range vs.Names {
+					e.set(e.n.Pkg.Info.ObjectOf(name), rhs)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		e.expr(s.X)
+	case *ast.SendStmt:
+		e.expr(s.Chan)
+		e.expr(s.Value)
+	case *ast.IncDecStmt:
+		e.expr(s.X)
+	case *ast.ReturnStmt:
+		if inLit {
+			for _, r := range s.Results {
+				e.expr(r)
+			}
+			return
+		}
+		if len(s.Results) == 0 {
+			for _, obj := range e.results {
+				if obj != nil {
+					e.ret(e.env[obj])
+				}
+			}
+			return
+		}
+		for _, r := range s.Results {
+			e.ret(e.expr(r))
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			e.stmt(s.Init, inLit)
+		}
+		e.expr(s.Cond)
+		e.block(s.Body, inLit)
+		if s.Else != nil {
+			e.stmt(s.Else, inLit)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			e.stmt(s.Init, inLit)
+		}
+		if s.Cond != nil {
+			e.expr(s.Cond)
+		}
+		if s.Post != nil {
+			e.stmt(s.Post, inLit)
+		}
+		e.block(s.Body, inLit)
+	case *ast.RangeStmt:
+		e.rangeStmt(s, inLit)
+	case *ast.SelectStmt:
+		e.selectStmt(s, inLit)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			e.stmt(s.Init, inLit)
+		}
+		if s.Tag != nil {
+			e.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, x := range cc.List {
+				e.expr(x)
+			}
+			for _, bs := range cc.Body {
+				e.stmt(bs, inLit)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			e.stmt(s.Init, inLit)
+		}
+		e.stmt(s.Assign, inLit)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, bs := range cc.Body {
+				e.stmt(bs, inLit)
+			}
+		}
+	case *ast.BlockStmt:
+		e.block(s, inLit)
+	case *ast.DeferStmt:
+		e.expr(s.Call)
+	case *ast.GoStmt:
+		// The launched body is its own node; launch arguments evaluate here.
+		for _, arg := range s.Call.Args {
+			e.expr(arg)
+		}
+	case *ast.LabeledStmt:
+		e.stmt(s.Stmt, inLit)
+	}
+}
+
+// ret folds a result value into the summary.
+func (e *funcEval) ret(v val) {
+	ns := e.sum
+	ns.returns |= v.t
+	ns.paramToRet |= v.params
+	if !ns.eq(e.sum) {
+		e.sum = ns
+		e.changed = true
+	}
+}
+
+// markParamSink records that the given parameters flow to a sink.
+func (e *funcEval) markParamSink(params uint64) {
+	if e.sum.paramSink&params != params {
+		e.sum.paramSink |= params
+		e.changed = true
+	}
+}
+
+func (e *funcEval) assign(s *ast.AssignStmt) {
+	var rhs []val
+	for _, r := range s.Rhs {
+		rhs = append(rhs, e.expr(r))
+	}
+	pick := func(i int) val {
+		if len(s.Lhs) == len(s.Rhs) {
+			return rhs[i]
+		}
+		var v val // tuple assignment: every target gets the union
+		for _, r := range rhs {
+			v = v.union(r)
+		}
+		return v
+	}
+	for i, lhs := range s.Lhs {
+		v := pick(i)
+		obj := rootObject(e.n.Pkg.Info, lhs)
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			// Order-sensitive accumulation: folding map-loop-derived floats
+			// is where iteration order changes rounding.
+			if v.order && isFloatType(e.n.Pkg.Info, lhs) {
+				v.t |= TaintMapOrder
+			}
+			if obj != nil {
+				v = v.union(e.env[obj])
+			}
+		case token.ASSIGN, token.DEFINE:
+		default: // other compound ops (|=, &=, ...): plain join
+			if obj != nil {
+				v = v.union(e.env[obj])
+			}
+		}
+		e.set(obj, v)
+	}
+}
+
+func (e *funcEval) rangeStmt(s *ast.RangeStmt, inLit bool) {
+	xv := e.expr(s.X)
+	t := e.n.Pkg.Info.TypeOf(s.X)
+	keyObj := rootObject(e.n.Pkg.Info, s.Key)
+	valObj := rootObject(e.n.Pkg.Info, s.Value)
+	switch {
+	case t != nil && isMap(t):
+		// Loop variables carry the order-source marker: deriving a
+		// sequence or a float accumulation from them is order-sensitive.
+		e.set(keyObj, val{order: true})
+		e.set(valObj, val{order: true})
+	case t != nil && isChan(t):
+		v := val{}
+		if obj := rootObject(e.n.Pkg.Info, s.X); obj != nil && e.goChans[obj] {
+			v.t |= TaintGoOrder
+		}
+		e.set(keyObj, v)
+	default:
+		e.set(keyObj, val{})
+		e.set(valObj, xv)
+	}
+	e.block(s.Body, inLit)
+}
+
+// selectStmt marks variables assigned in two or more comm clauses of the
+// same select: which clause ran is runtime arbitration, so such a variable
+// is a first-responder-wins race.
+func (e *funcEval) selectStmt(s *ast.SelectStmt, inLit bool) {
+	counts := make(map[types.Object]int)
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		perClause := make(map[types.Object]bool)
+		collect := func(n ast.Node) {
+			ast.Inspect(n, func(node ast.Node) bool {
+				as, ok := node.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					if obj := rootObject(e.n.Pkg.Info, lhs); obj != nil {
+						perClause[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		if cc.Comm != nil {
+			collect(cc.Comm)
+		}
+		for _, bs := range cc.Body {
+			collect(bs)
+		}
+		for obj := range perClause {
+			counts[obj]++
+		}
+	}
+	for obj, c := range counts {
+		if c >= 2 {
+			e.set(obj, val{t: TaintSelect})
+		}
+	}
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm != nil {
+			e.stmt(cc.Comm, inLit)
+		}
+		for _, bs := range cc.Body {
+			e.stmt(bs, inLit)
+		}
+	}
+}
+
+func (e *funcEval) expr(x ast.Expr) val {
+	switch x := x.(type) {
+	case nil:
+		return val{}
+	case *ast.Ident:
+		if obj := e.n.Pkg.Info.ObjectOf(x); obj != nil {
+			return e.env[obj]
+		}
+		return val{}
+	case *ast.BasicLit:
+		return val{}
+	case *ast.FuncLit:
+		// Non-goroutine literal: its body runs with the enclosing env
+		// (captured variables resolve to the same objects); its returns
+		// belong to the literal, not the enclosing function.
+		e.block(x.Body, true)
+		return val{}
+	case *ast.ParenExpr:
+		return e.expr(x.X)
+	case *ast.StarExpr:
+		return e.expr(x.X)
+	case *ast.TypeAssertExpr:
+		return e.expr(x.X)
+	case *ast.SliceExpr:
+		v := e.expr(x.X)
+		e.expr(x.Low)
+		e.expr(x.High)
+		e.expr(x.Max)
+		return v
+	case *ast.IndexExpr:
+		return e.expr(x.X).union(e.expr(x.Index))
+	case *ast.IndexListExpr:
+		return e.expr(x.X)
+	case *ast.BinaryExpr:
+		return e.expr(x.X).union(e.expr(x.Y))
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			if obj := rootObject(e.n.Pkg.Info, x.X); obj != nil && e.goChans[obj] {
+				return val{t: TaintGoOrder}
+			}
+			return val{}
+		}
+		return e.expr(x.X)
+	case *ast.SelectorExpr:
+		if obj := e.n.Pkg.Info.ObjectOf(x.Sel); obj != nil {
+			if _, isPkg := e.n.Pkg.Info.ObjectOf(baseIdent(x.X)).(*types.PkgName); isPkg {
+				return e.env[obj]
+			}
+		}
+		return e.expr(x.X)
+	case *ast.CompositeLit:
+		var v val
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = v.union(e.expr(kv.Value))
+				continue
+			}
+			v = v.union(e.expr(el))
+		}
+		return v
+	case *ast.KeyValueExpr:
+		return e.expr(x.Value)
+	case *ast.CallExpr:
+		return e.call(x)
+	}
+	return val{}
+}
+
+// baseIdent returns x as an identifier, or nil.
+func baseIdent(x ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(x).(*ast.Ident)
+	return id
+}
+
+func (e *funcEval) call(call *ast.CallExpr) val {
+	info := e.n.Pkg.Info
+	// Conversions propagate their operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		var v val
+		for _, a := range call.Args {
+			v = v.union(e.expr(a))
+		}
+		return v
+	}
+	// Builtins.
+	if id := calleeIdent(call); id != nil {
+		if _, ok := info.ObjectOf(id).(*types.Builtin); ok {
+			return e.builtin(id.Name, call)
+		}
+	}
+	callees, ext := e.a.g.resolve(e.n.Pkg, call)
+	var v val
+	var args []val
+	for _, a := range call.Args {
+		args = append(args, e.expr(a))
+	}
+	reportSink := func(fn *types.Func) {
+		start, ok := sinkArgs(fn)
+		if !ok {
+			return
+		}
+		for j := start; j < len(args); j++ {
+			if args[j].t != 0 && e.emit != nil {
+				e.emit(call.Args[j], args[j].t, sinkName(fn))
+			}
+			if args[j].params != 0 {
+				e.markParamSink(args[j].params)
+			}
+		}
+	}
+	for _, c := range callees {
+		sum := e.a.sums[c]
+		v.t |= sum.returns
+		// The receiver of a method occupies summary slot 0; call arguments
+		// follow. Align: methods called as x.m(a, b) pass x as param 0.
+		shift := 0
+		if c.Fn != nil {
+			if sig, ok := c.Fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				shift = 1
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					rv := e.expr(sel.X)
+					if sum.paramToRet&1 != 0 {
+						v = v.union(rv)
+					}
+					if sum.paramSink&1 != 0 {
+						if rv.t != 0 && e.emit != nil {
+							e.emit(sel.X, rv.t, c.Fn.Name())
+						}
+						e.markParamSink(rv.params)
+					}
+				}
+			}
+		}
+		for i, av := range args {
+			bit := uint64(1) << uint((i+shift)&63)
+			if sum.paramToRet&bit != 0 {
+				v = v.union(av)
+			}
+			if sum.paramSink&bit != 0 {
+				if av.t != 0 && e.emit != nil {
+					e.emit(call.Args[i], av.t, c.Name())
+				}
+				e.markParamSink(av.params)
+			}
+		}
+		if c.Fn != nil {
+			reportSink(c.Fn)
+		}
+	}
+	if ext != nil {
+		v = v.union(e.extCall(ext, call, args))
+		reportSink(ext)
+	}
+	if callees == nil && ext == nil {
+		// Unresolved (function value): propagate arguments conservatively.
+		for _, av := range args {
+			v = v.union(av)
+		}
+	}
+	return v
+}
+
+// extCall models an external (stdlib) callee.
+func (e *funcEval) extCall(fn *types.Func, call *ast.CallExpr, args []val) val {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	switch {
+	case pkg == "time" && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+		return val{t: TaintClock}
+	case pkg == "slices" && sortedCopies[fn.Name()]:
+		var v val
+		for _, av := range args {
+			v = v.union(av)
+		}
+		v.t &^= TaintMapOrder
+		v.order = false
+		return v
+	}
+	// Default: external calls propagate their arguments (fmt.Sprintf,
+	// strconv, strings.Join, ... all behave this way) and, for methods,
+	// their receiver.
+	var v val
+	for _, av := range args {
+		v = v.union(av)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			v = v.union(e.expr(sel.X))
+		}
+	}
+	return v
+}
+
+func (e *funcEval) builtin(name string, call *ast.CallExpr) val {
+	var args []val
+	for _, a := range call.Args {
+		args = append(args, e.expr(a))
+	}
+	switch name {
+	case "append":
+		v := args[0]
+		for _, av := range args[1:] {
+			v = v.union(av)
+			if av.order {
+				// Appending map-loop-derived elements builds a sequence in
+				// iteration order.
+				v.t |= TaintMapOrder
+			}
+		}
+		return v
+	case "len", "cap":
+		// Length is order-insensitive.
+		var v val
+		for _, av := range args {
+			v = v.union(av)
+		}
+		v.t &^= TaintMapOrder
+		v.order = false
+		return v
+	case "copy":
+		if len(call.Args) == 2 {
+			e.set(rootObject(e.n.Pkg.Info, call.Args[0]), args[1])
+		}
+		return val{}
+	default:
+		return val{}
+	}
+}
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isChan(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isFloatType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -42,8 +42,11 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
-// Analyzer is one named rule. Run inspects a single type-checked package
-// via the Pass and reports findings through Pass.Reportf.
+// Analyzer is one named rule. Per-package rules set Run and inspect one
+// type-checked package at a time via the Pass; module-level rules set
+// RunModule and see every loaded package at once, which is what the
+// interprocedural flow analyzers (internal/lint/flow) need to chase taint
+// across package boundaries. Exactly one of Run and RunModule is set.
 type Analyzer struct {
 	// Name is the rule identifier used in diagnostics and allow directives.
 	Name string
@@ -51,6 +54,8 @@ type Analyzer struct {
 	Doc string
 	// Run executes the rule against one package.
 	Run func(*Pass)
+	// RunModule executes the rule once over the whole loaded package set.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one type-checked package through an analyzer run.
@@ -118,16 +123,60 @@ func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
 	return fn
 }
 
-// Analyzers returns the full registry in deterministic (alphabetical)
-// order.
-func Analyzers() []*Analyzer {
-	all := []*Analyzer{
+// ModulePass carries the whole loaded package set through one module-level
+// analyzer run.
+type ModulePass struct {
+	Analyzer *Analyzer
+	// Pkgs is every loaded package, sorted by import path. All packages
+	// share one token.FileSet when produced by Load; fixture harnesses may
+	// hand-build sets with per-package FileSets, which is why Reportf takes
+	// the owning package explicitly.
+	Pkgs []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic for the running analyzer at pos, which must
+// belong to pkg's FileSet.
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*mp.diags = append(*mp.diags, Diagnostic{
+		Pos:     pkg.Fset.Position(pos),
+		Rule:    mp.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// registered holds analyzers added by Register, beyond the built-in set.
+var registered []*Analyzer
+
+// Register adds an analyzer to the registry returned by Analyzers. It is
+// how subpackages that depend on this one (internal/lint/flow) plug their
+// rules in without an import cycle: importing them for side effects is
+// enough. Duplicate names panic — the registry keys allow directives and
+// -exempt config, so a collision would silently merge two rules.
+func Register(a *Analyzer) {
+	for _, b := range append(builtins(), registered...) {
+		if b.Name == a.Name {
+			panic(fmt.Sprintf("lint: duplicate analyzer name %q", a.Name))
+		}
+	}
+	registered = append(registered, a)
+}
+
+func builtins() []*Analyzer {
+	return []*Analyzer{
 		ErrcheckAnalyzer,
 		FloateqAnalyzer,
 		NondeterminismAnalyzer,
 		PanicmsgAnalyzer,
 		UnitmixAnalyzer,
 	}
+}
+
+// Analyzers returns the full registry — built-ins plus everything added by
+// Register — in deterministic (alphabetical) order.
+func Analyzers() []*Analyzer {
+	all := append(builtins(), registered...)
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
 }
@@ -165,12 +214,31 @@ func (cfg Config) exempts(rule, relPath string) bool {
 
 // Run executes the given analyzers over every package and returns the
 // surviving diagnostics (inline allow directives and config exemptions
-// applied), sorted by file, line, column, then rule.
+// applied), sorted by file, line, column, then rule. Per-package analyzers
+// run once per package; module-level analyzers (RunModule) run once over
+// the whole set, so they can reason about cross-package call chains.
 func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
+	var perPkg, module []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			module = append(module, a)
+		} else {
+			perPkg = append(perPkg, a)
+		}
+	}
 	var diags []Diagnostic
+	// pkgOf maps a source filename to its owning package, so module-level
+	// diagnostics (which may land in any file) resolve relFile for config
+	// exemption matching.
+	pkgOf := make(map[string]*Package)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			pkgOf[pkg.Fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
 	for _, pkg := range pkgs {
 		allow := buildAllowIndex(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
+		for _, a := range perPkg {
 			var raw []Diagnostic
 			pass := &Pass{
 				Analyzer:   a,
@@ -188,6 +256,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
 					continue
 				}
 				if cfg.exempts(a.Name, pkg.relFile(d.Pos.Filename)) {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	if len(module) > 0 {
+		allow := make(allowIndex)
+		for _, pkg := range pkgs {
+			mergeAllowIndex(allow, buildAllowIndex(pkg.Fset, pkg.Files))
+		}
+		for _, a := range module {
+			var raw []Diagnostic
+			mp := &ModulePass{Analyzer: a, Pkgs: pkgs, diags: &raw}
+			a.RunModule(mp)
+			for _, d := range raw {
+				if allow.allows(d.Pos.Filename, d.Pos.Line, a.Name) {
+					continue
+				}
+				if p := pkgOf[d.Pos.Filename]; p != nil && cfg.exempts(a.Name, p.relFile(d.Pos.Filename)) {
 					continue
 				}
 				diags = append(diags, d)

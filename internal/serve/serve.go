@@ -378,7 +378,12 @@ func (s *Server) Submit(model string) <-chan Response {
 		req.respond(Response{Chip: -1, Err: "odinserve: server is draining"})
 		return done
 	}
-	s.events <- req
+	// The send must complete under the read lock: Close takes the write lock
+	// before flipping draining, so holding RLock here guarantees the
+	// dispatcher is still draining events when the send parks — the send
+	// cannot deadlock, and releasing the lock first would reopen the
+	// admitted-but-dropped race this ordering exists to close.
+	s.events <- req //lint:allow lockflow -- send under RLock is the admission/drain handshake; dispatcher always drains events while any RLock holder can be admitting
 	s.mu.RUnlock()
 	return done
 }
