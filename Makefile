@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint lintfix-audit test race bench benchsmoke check loadsmoke parsmoke obssmoke ci
+.PHONY: all build fmt vet lint lintfix-audit test race bench benchsmoke check loadsmoke parsmoke obssmoke optsmoke ci
 
 all: ci
 
@@ -98,4 +98,23 @@ obssmoke:
 	$(GO) run ./cmd/odinsim trace -model resnet18 -runs 4 -out $$tmp/trace.json > /dev/null && \
 	rm -rf $$tmp
 
-ci: build fmt vet lint test race benchsmoke check loadsmoke parsmoke obssmoke
+# Optimizer-subsystem gate: race-check the registry and both new
+# strategies (TPE sampler replay, Pareto front contract, controller
+# attribution), pin the committed opt-compare table against its golden,
+# and require the head-to-head bytes to be identical on a 1-worker and a
+# 4-worker pool (the engine's determinism contract extended to the new
+# experiment).
+optsmoke:
+	$(GO) test -race ./internal/opt/...
+	$(GO) test -race -run 'TestControllerStrategy|TestExhaustiveFlag' ./internal/core
+	$(GO) test -run 'TestGoldenArtifacts/opt-compare|TestOptCompareAcceptance' ./internal/experiments
+# The runner's `<== ... done in Xs` footer carries wall-clock time, the
+# one line that legitimately differs between runs; everything else must
+# be byte-identical.
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/odinsim -workers 1 opt-compare | grep -v '^<== ' > $$tmp/w1.txt && \
+	$(GO) run ./cmd/odinsim -workers 4 opt-compare | grep -v '^<== ' > $$tmp/w4.txt && \
+	cmp $$tmp/w1.txt $$tmp/w4.txt && \
+	rm -rf $$tmp
+
+ci: build fmt vet lint test race benchsmoke check loadsmoke parsmoke obssmoke optsmoke

@@ -31,6 +31,7 @@ import (
 	"odin/internal/core"
 	"odin/internal/dnn"
 	"odin/internal/experiments"
+	"odin/internal/opt"
 	"odin/internal/par"
 	"odin/internal/policy"
 	"odin/internal/search"
@@ -231,12 +232,22 @@ type benchReport struct {
 	ParallelMS   float64 `json:"parallel_ms"`
 	Speedup      float64 `json:"speedup"`
 	// DecisionNsPerOp is the per-layer controller decision cost (one policy
-	// prediction plus clamp and K=3 resource-bounded refinement) in
-	// nanoseconds — the serving-path hot slice, measured on the same
-	// reference layer as BenchmarkControllerLayerDecision. Zero when the
-	// injected clock does not advance (virtual-clock runs).
-	DecisionNsPerOp float64          `json:"decision_ns_per_op"`
+	// prediction plus clamp and line-6 refinement) in nanoseconds, per
+	// line-6 strategy at its default budget — the serving-path hot slice,
+	// measured on the same reference layer as
+	// BenchmarkControllerLayerDecision. All zero when the injected clock
+	// does not advance (virtual-clock runs).
+	DecisionNsPerOp decisionBench    `json:"decision_ns_per_op"`
 	Experiments     []benchExpReport `json:"experiments"`
+}
+
+// decisionBench holds the per-strategy decision cost (ns per decision):
+// the paper's K=3 resource-bounded walk, the exhaustive scan, and the
+// TPE-style Bayesian sampler at its half-grid default budget.
+type decisionBench struct {
+	RB float64 `json:"rb"`
+	EX float64 `json:"ex"`
+	BO float64 `json:"bo"`
 }
 
 type benchExpReport struct {
@@ -302,8 +313,9 @@ func runBench(stdout, stderr io.Writer, opts cliOptions, ids []string, clk clock
 	if err := os.WriteFile(opts.out, append(b, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "odinsim bench: sequential %.0f ms, parallel %.0f ms (workers=%d, speedup %.2fx), decision %.0f ns/op -> %s\n",
-		rep.SequentialMS, rep.ParallelMS, rep.Workers, rep.Speedup, rep.DecisionNsPerOp, opts.out)
+	fmt.Fprintf(stdout, "odinsim bench: sequential %.0f ms, parallel %.0f ms (workers=%d, speedup %.2fx), decision rb %.0f / ex %.0f / bo %.0f ns/op -> %s\n",
+		rep.SequentialMS, rep.ParallelMS, rep.Workers, rep.Speedup,
+		rep.DecisionNsPerOp.RB, rep.DecisionNsPerOp.EX, rep.DecisionNsPerOp.BO, opts.out)
 	if reg != nil {
 		if err := reg.WritePrometheus(stderr); err != nil {
 			return err
@@ -313,48 +325,66 @@ func runBench(stdout, stderr io.Writer, opts cliOptions, ids []string, clk clock
 }
 
 // benchDecision times the per-layer controller decision slice — one policy
-// prediction plus the clamp-and-RB-search refinement, the serving-path hot
-// loop — on the reference layer BenchmarkControllerLayerDecision uses
-// (VGG11 layer 4 at age 10⁴ s) and returns nanoseconds per decision. Time
-// comes from the injected clock; if it does not advance (virtual clock in
-// tests), the measurement stops after one batch and reports zero.
-func benchDecision(clk clock.Clock) (float64, error) {
+// prediction plus the clamp and the line-6 refinement at its default
+// budget, the serving-path hot loop — on the reference layer
+// BenchmarkControllerLayerDecision uses (VGG11 layer 4 at age 10⁴ s), once
+// per timed strategy. Time comes from the injected clock; if it does not
+// advance (virtual clock in tests), each measurement stops after one batch
+// and reports zero.
+func benchDecision(clk clock.Clock) (decisionBench, error) {
 	sys := core.DefaultSystem()
 	wl, err := sys.Prepare(dnn.NewVGG11())
 	if err != nil {
-		return 0, err
+		return decisionBench{}, err
 	}
 	pol := policy.New(policy.Config{Grid: sys.Grid(), Seed: 1})
 	grid := sys.Grid()
 	feat := wl.FeaturesAt(4, 1e4)
 	obj := core.LayerObjective(sys, wl, 4, 1e4)
-	decide := func() {
-		predicted := pol.Predict(feat)
-		start := search.ClampFeasible(grid, obj, predicted)
-		_ = search.ResourceBounded(grid, obj, start, 3)
-	}
-	for i := 0; i < 100; i++ {
-		decide() // warm-up
-	}
-	const batch = 256
-	const maxIters = 1 << 17
-	iters := 0
-	start := clk.Now()
-	elapsed := 0.0
-	for iters < maxIters {
-		for i := 0; i < batch; i++ {
-			decide()
+	measure := func(name string) (float64, error) {
+		optim, err := opt.ByName(name)
+		if err != nil {
+			return 0, err
 		}
-		iters += batch
-		elapsed = clk.Now() - start
-		if elapsed == 0 { // frozen or sub-resolution clock: nothing to report
-			return 0, nil
+		decide := func() {
+			predicted := pol.Predict(feat)
+			start := search.ClampFeasible(grid, obj, predicted)
+			_ = optim.Optimize(grid, obj, start, 0)
 		}
-		if elapsed >= 0.05 {
-			break
+		for i := 0; i < 100; i++ {
+			decide() // warm-up
 		}
+		const batch = 256
+		const maxIters = 1 << 17
+		iters := 0
+		start := clk.Now()
+		elapsed := 0.0
+		for iters < maxIters {
+			for i := 0; i < batch; i++ {
+				decide()
+			}
+			iters += batch
+			elapsed = clk.Now() - start
+			if elapsed == 0 { // frozen or sub-resolution clock: nothing to report
+				return 0, nil
+			}
+			if elapsed >= 0.05 {
+				break
+			}
+		}
+		return elapsed * 1e9 / float64(iters), nil
 	}
-	return elapsed * 1e9 / float64(iters), nil
+	var out decisionBench
+	if out.RB, err = measure("rb"); err != nil {
+		return out, err
+	}
+	if out.EX, err = measure("ex"); err != nil {
+		return out, err
+	}
+	if out.BO, err = measure("bo"); err != nil {
+		return out, err
+	}
+	return out, nil
 }
 
 // runTrace executes one fully-observed ageing sweep (odinsim trace): it

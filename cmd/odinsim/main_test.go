@@ -187,13 +187,19 @@ func TestBenchWritesReport(t *testing.T) {
 	if rep.Experiments[0].ID != "tab1" || rep.Experiments[1].ID != "tab2" {
 		t.Fatalf("bench report experiment order off: %+v", rep.Experiments)
 	}
-	// The per-decision figure must be in the artefact schema; on a virtual
-	// clock the timed loop cannot advance, so it reports exactly zero.
+	// The per-decision figures must be in the artefact schema, one per
+	// timed line-6 strategy; on a virtual clock the timed loops cannot
+	// advance, so every strategy reports exactly zero.
 	if !strings.Contains(string(b), `"decision_ns_per_op"`) {
 		t.Fatalf("bench report missing decision_ns_per_op:\n%s", b)
 	}
-	if rep.DecisionNsPerOp != 0 {
-		t.Fatalf("virtual-clock decision bench = %v ns/op, want 0", rep.DecisionNsPerOp)
+	for _, k := range []string{`"rb"`, `"ex"`, `"bo"`} {
+		if !strings.Contains(string(b), k) {
+			t.Fatalf("bench report missing per-strategy decision key %s:\n%s", k, b)
+		}
+	}
+	if (rep.DecisionNsPerOp != decisionBench{}) {
+		t.Fatalf("virtual-clock decision bench = %+v ns/op, want zeros", rep.DecisionNsPerOp)
 	}
 }
 

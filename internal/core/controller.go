@@ -6,6 +6,7 @@ import (
 
 	"odin/internal/mlp"
 	"odin/internal/obs"
+	"odin/internal/opt"
 	"odin/internal/ou"
 	"odin/internal/policy"
 	"odin/internal/search"
@@ -16,8 +17,21 @@ type ControllerOptions struct {
 	// SearchK is the resource-bounded search budget (paper: 3).
 	SearchK int
 	// Exhaustive switches line 6 of Algorithm 1 to the EX search (§V.B's
-	// higher-quality, ~3× costlier alternative).
+	// higher-quality, ~3× costlier alternative). Kept for the paper-facing
+	// experiments; it is shorthand for Strategy = "ex" and is ignored when
+	// Strategy is set explicitly.
 	Exhaustive bool
+	// Strategy names the registered internal/opt optimizer driving line 6
+	// of Algorithm 1: "rb", "ex", "bo" or "pareto" (opt.Names()). Empty
+	// selects "rb" — or "ex" when Exhaustive is set. The name is stamped
+	// verbatim into decision-audit records and trace spans, so new
+	// strategies attribute correctly without controller changes.
+	Strategy string
+	// SearchBudget is the strategy-specific effort knob handed to the
+	// optimizer (rb: ±1 steps K; bo: max candidate evaluations; ex/pareto:
+	// ignored). 0 uses SearchK for "rb" (the paper's configuration) and
+	// the optimizer's own default otherwise.
+	SearchBudget int
 	// BufferSize is the training-buffer capacity (paper: 50 examples).
 	BufferSize int
 	// UpdateEpochs is the supervised-learning epoch count per policy update
@@ -94,6 +108,15 @@ func (o ControllerOptions) withDefaults() ControllerOptions {
 	if o.TrainSeed == 0 {
 		o.TrainSeed = 1
 	}
+	if o.Strategy == "" {
+		o.Strategy = "rb"
+		if o.Exhaustive {
+			o.Strategy = "ex"
+		}
+	}
+	if o.SearchBudget == 0 && o.Strategy == "rb" {
+		o.SearchBudget = o.SearchK
+	}
 	if o.ProactiveReprogram && o.ProactiveFactor <= 1 {
 		o.ProactiveFactor = 1.5
 	}
@@ -114,6 +137,11 @@ type Controller struct {
 	pol  *policy.Policy
 	buf  *policy.Buffer
 	opts ControllerOptions
+
+	// optim is the line-6 strategy resolved from opts.Strategy at
+	// construction; its Name() is the single source of the strategy
+	// strings in audit records and trace spans.
+	optim opt.Optimizer
 
 	programmedAt float64 // simulation time of the last (re)programming
 	reprograms   int
@@ -146,14 +174,23 @@ func NewController(sys System, wl *Workload, pol *policy.Policy, opts Controller
 		return nil, fmt.Errorf("core: policy grid %+v does not match system grid %+v",
 			pol.Grid(), sys.Grid())
 	}
+	resolved := opts.withDefaults()
+	optim, err := opt.ByName(resolved.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	return &Controller{
-		sys:  sys,
-		wl:   wl,
-		pol:  pol,
-		buf:  policy.NewBuffer(opts.withDefaults().BufferSize),
-		opts: opts.withDefaults(),
+		sys:   sys,
+		wl:    wl,
+		pol:   pol,
+		buf:   policy.NewBuffer(resolved.BufferSize),
+		opts:  resolved,
+		optim: optim,
 	}, nil
 }
+
+// Strategy returns the name of the line-6 optimizer the controller runs.
+func (c *Controller) Strategy() string { return c.optim.Name() }
 
 // Policy returns the (adapting) policy.
 func (c *Controller) Policy() *policy.Policy { return c.pol }
@@ -230,31 +267,29 @@ func (c *Controller) RunInference(t float64) RunReport {
 			if audit != nil {
 				audit.Layers = append(audit.Layers, obs.LayerDecision{
 					Layer: j, Predicted: predicted, Start: rep.Sizes[j],
-					Chosen: rep.Sizes[j], Strategy: "degraded",
+					Chosen: rep.Sizes[j], Strategy: opt.StrategyDegraded,
 				})
 			}
 			if traced {
-				stratByLayer[j] = "degraded"
+				stratByLayer[j] = opt.StrategyDegraded
 			}
 			continue
 		}
 
 		// Line 6: shrink the prediction into the feasible region if drift
-		// has outrun the policy, then refine locally (RB) or globally (EX).
+		// has outrun the policy, then refine with the configured strategy.
+		// Low policy confidence escalates any non-exhaustive strategy to
+		// the full grid scan (the uncertainty-aware ConfidenceEX
+		// extension); the strategy string always comes from the optimizer
+		// that actually ran, so attribution stays exact.
 		start := search.ClampFeasible(grid, obj, predicted)
-		useEX := c.opts.Exhaustive
-		if !useEX && c.opts.ConfidenceEX &&
+		optim := c.optim
+		if c.opts.ConfidenceEX && optim.Name() != (opt.Exhaustive{}).Name() &&
 			c.pol.Confidence(feat) < c.opts.ConfidenceThreshold {
-			useEX = true
+			optim = opt.Exhaustive{}
 		}
-		var res search.Result
-		strategy := "rb"
-		if useEX {
-			strategy = "ex"
-			res = search.Exhaustive(grid, obj)
-		} else {
-			res = search.ResourceBounded(grid, obj, start, c.opts.SearchK)
-		}
+		res := optim.Optimize(grid, obj, start, c.opts.SearchBudget)
+		strategy := optim.Name()
 		rep.SearchEvaluations += res.Evaluations
 		if !res.Found {
 			// The bounded walk can miss a feasible region the clamp already
@@ -263,11 +298,19 @@ func (c *Controller) RunInference(t float64) RunReport {
 		}
 		rep.Sizes[j] = res.Best
 		if audit != nil {
+			var front []ou.Size
+			if len(res.Front) > 0 {
+				front = make([]ou.Size, len(res.Front))
+				for i, p := range res.Front {
+					front[i] = p.Size
+				}
+			}
 			audit.Layers = append(audit.Layers, obs.LayerDecision{
 				Layer: j, Predicted: predicted, Start: start,
 				Chosen: res.Best, Strategy: strategy,
 				Evaluations: res.Evaluations,
 				PolicyWon:   predicted == res.Best, Candidates: cands,
+				Front: front,
 			})
 		}
 		if traced {

@@ -53,6 +53,7 @@ func All() []Experiment {
 		{"rowskip", "Model validation: analytic vs measured row-segment skipping", runRowSkip, func() (any, error) { return RowSkip(core.DefaultSystem(), nil) }},
 		{"indexes", "Sec. II motivation: index-table storage of offline OU compression vs Odin", runIndexes, func() (any, error) { return Indexes(core.DefaultSystem(), nil) }},
 		{"noise", "Device-level read-noise sensitivity (thermal noise axis)", runNoise, func() (any, error) { return Noise(core.DefaultSystem(), nil) }},
+		{"opt-compare", "Extension: line-6 optimizer head-to-head (rb/ex/bo/pareto)", runOptCompare, func() (any, error) { return OptCompare(core.DefaultSystem()) }},
 	}
 }
 

@@ -11,8 +11,10 @@ import (
 // TestGoldenArtifacts freezes the rendered output of a representative slice
 // of the paper's tables and figures: the two static platform tables, one
 // layer-wise placement figure (fig3), the headline energy/latency
-// comparison (fig6, the full horizon driver), and the §V-E overhead
-// analysis. Every numeric path in the repository — mapping, cost models,
+// comparison (fig6, the full horizon driver), the §V-E overhead
+// analysis, and the line-6 optimizer head-to-head (opt-compare, which
+// freezes all four registered strategies including the TPE sampler's
+// draws). Every numeric path in the repository — mapping, cost models,
 // drift, search, policy bootstrap, horizon amortisation — feeds at least
 // one of these byte streams, so any unintended change to the physics or
 // the controller shows up as a golden diff. Accept intended changes with:
@@ -24,7 +26,7 @@ import (
 // matters.
 func TestGoldenArtifacts(t *testing.T) {
 	t.Parallel()
-	for _, id := range []string{"tab1", "tab2", "fig3", "fig6", "overhead"} {
+	for _, id := range []string{"tab1", "tab2", "fig3", "fig6", "overhead", "opt-compare"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

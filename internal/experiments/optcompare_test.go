@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+
+	"odin/internal/core"
+)
+
+// TestOptCompareAcceptance pins the headline claim of the optimizer
+// subsystem on the committed comparison: on every zoo workload the
+// Bayesian strategy reaches within 5% of the exhaustive optimum's EDP
+// while spending at most half of EX's candidate evaluations, and the
+// multi-objective strategy's scalarization never leaves the exhaustive
+// optimum (ratio exactly 1).
+func TestOptCompareAcceptance(t *testing.T) {
+	t.Parallel()
+	res, err := OptCompare(core.DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("opt-compare produced no rows")
+	}
+	for _, row := range res.Rows {
+		stats := map[string]OptStrategyStats{}
+		for _, st := range row.Stats {
+			stats[st.Strategy] = st
+		}
+		ex, bo, pareto := stats["ex"], stats["bo"], stats["pareto"]
+		if 2*bo.EvalsPerDecision > ex.EvalsPerDecision {
+			t.Errorf("%s: bo spends %.2f evals/decision, more than half of EX's %.2f",
+				row.Workload, bo.EvalsPerDecision, ex.EvalsPerDecision)
+		}
+		if bo.EDPRatio > 1.05 {
+			t.Errorf("%s: bo EDP ratio %.4f exceeds 1.05× the EX optimum",
+				row.Workload, bo.EDPRatio)
+		}
+		if pareto.EDPRatio > 1 {
+			t.Errorf("%s: pareto scalarization ratio %.6f leaves the EX optimum",
+				row.Workload, pareto.EDPRatio)
+		}
+		if row.Feasible > 0 && pareto.MeanFrontSize < 1 {
+			t.Errorf("%s: pareto mean front size %.2f below 1 with %d feasible decisions",
+				row.Workload, pareto.MeanFrontSize, row.Feasible)
+		}
+	}
+}

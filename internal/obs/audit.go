@@ -40,6 +40,12 @@ type LayerDecision struct {
 	PolicyWon   bool // Predicted == Chosen (no disagreement recorded)
 
 	Candidates []Candidate
+
+	// Front lists the non-dominated (energy, latency, NF) candidates when
+	// a multi-objective strategy drove the decision (strategy "pareto"),
+	// in grid order; nil for scalar strategies. Chosen is always EDP-tied
+	// with a front member (the documented scalarization rule).
+	Front []ou.Size
 }
 
 // RunAudit is the audit record of one full RunInference pass.
@@ -147,9 +153,13 @@ func (l *AuditLog) WriteTable(w io.Writer) error {
 			if d.Strategy == "degraded" {
 				winner = "-"
 			}
-			if _, err := fmt.Fprintf(w, "%5d %10s %10s %10s %8s %8s %6d %12.4e %12.4e %10.4e\n",
+			frontNote := ""
+			if len(d.Front) > 0 {
+				frontNote = fmt.Sprintf("  front=%d", len(d.Front))
+			}
+			if _, err := fmt.Fprintf(w, "%5d %10s %10s %10s %8s %8s %6d %12.4e %12.4e %10.4e%s\n",
 				d.Layer, d.Predicted, d.Start, d.Chosen, winner, d.Strategy,
-				d.Evaluations, e, lat, nf); err != nil {
+				d.Evaluations, e, lat, nf, frontNote); err != nil {
 				return err
 			}
 		}

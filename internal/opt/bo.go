@@ -1,0 +1,270 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"odin/internal/ou"
+	"odin/internal/rng"
+	"odin/internal/search"
+)
+
+// Bayesian is a TPE-style (tree-structured Parzen estimator) surrogate
+// optimizer over the discrete OU grid, the stdlib-only analogue of the
+// crossbar design-space Bayesian optimization of arXiv 2605.08461.
+//
+// Instead of modelling EDP(x) directly, TPE splits the evaluated
+// candidates into a good set (the lowest-EDP γ fraction) and a bad set,
+// estimates a per-axis kernel density for each (a triangular kernel over
+// the discrete R/C level axes with Laplace smoothing), and evaluates next
+// the unseen grid point maximising the density
+// ratio good(x)/bad(x). Candidates are drawn from the good density, so
+// search effort concentrates where low-EDP evidence accumulates while the
+// smoothing keeps every cell reachable.
+//
+// Budget is the maximum number of candidate evaluations; budget <= 0 uses
+// half the grid (18 on the paper's 6×6 grid — half the EX comparator
+// work). The start point (the controller's feasibility-clamped seed) is
+// always evaluated first, so a feasible start is never lost: on failure to
+// improve, the incumbent is returned (the same guarantee RB gives
+// Algorithm 1).
+//
+// Determinism: every random draw flows through an internal/rng SplitMix64
+// stream whose label is derived from the objective itself (workload shape,
+// layer position, device age), so Optimize is a pure function of its
+// arguments — replays, worker pools and odinlint's detflow analysis all
+// see identical candidate sequences.
+type Bayesian struct{}
+
+// Name returns "bo".
+func (Bayesian) Name() string { return "bo" }
+
+// TPE constants: γ is the good-set fraction, boCandidates the number of
+// draws from the good density per iteration, boInit the quasi-random
+// warm-up evaluations (including the start), and the kernel/smoothing
+// shape of the per-level densities.
+const (
+	boGamma      = 0.3
+	boCandidates = 8
+	boInit       = 4
+	boKernelSide = 0.4  // triangular kernel mass at ±1 level
+	boSmoothing  = 0.25 // Laplace smoothing added to every level
+)
+
+// boObservation is one evaluated cell with the scores the good/bad split
+// ranks on.
+type boObservation struct {
+	rIdx, cIdx int
+	edp        float64 // NaN when infeasible (never scored)
+	nf         float64
+	feasible   bool
+}
+
+// boSeed derives the deterministic stream label of one Optimize call from
+// the objective identity: the per-crossbar workload shape, the layer
+// position, and the device age bits. Two decisions with the same inputs
+// share a stream (replay); any input change decorrelates it.
+func boSeed(o search.Objective) *rng.Source {
+	return rng.NewFromString(fmt.Sprintf("opt/bo/%d/%d/%d/%d/%d/%016x",
+		o.Work.Xbars, o.Work.RowsUsed, o.Work.ColsUsed,
+		o.Layer, o.Of, math.Float64bits(o.Time)))
+}
+
+// Optimize runs the TPE loop for at most budget candidate evaluations.
+func (Bayesian) Optimize(g ou.Grid, o search.Objective, start ou.Size, budget int) Result {
+	n := g.Levels()
+	total := n * n
+	if budget <= 0 {
+		budget = (total + 1) / 2
+	}
+	if budget > total {
+		budget = total
+	}
+	src := boSeed(o)
+
+	res := Result{Result: search.Result{BestEDP: math.Inf(1)}}
+	evaluated := make([]bool, total)
+	obs := make([]boObservation, 0, budget)
+	evaluate := func(ri, ci int) {
+		s := g.SizeAt(ri, ci)
+		evaluated[ri*n+ci] = true
+		res.Evaluations++
+		ob := boObservation{rIdx: ri, cIdx: ci, nf: o.NF(s)}
+		if !o.Feasible(s) {
+			ob.edp = math.NaN()
+			probe(o, s, false, math.NaN())
+		} else {
+			ob.edp, ob.feasible = o.EDP(s), true
+			probe(o, s, true, ob.edp)
+			if ob.edp < res.BestEDP {
+				res.Best, res.BestEDP, res.Found = s, ob.edp, true
+			}
+		}
+		obs = append(obs, ob)
+	}
+
+	// Warm-up: the clamped start first (incumbent guarantee), then
+	// quasi-random probes; a collision advances row-major to the next
+	// unseen cell so the warm-up never wastes budget.
+	rIdx, cIdx, ok := g.IndexOf(start)
+	if !ok {
+		rIdx, cIdx = g.NearestIndex(start.R), g.NearestIndex(start.C)
+	}
+	evaluate(rIdx, cIdx)
+	for res.Evaluations < budget && res.Evaluations < boInit {
+		idx := src.Intn(total)
+		for evaluated[idx] {
+			idx = (idx + 1) % total
+		}
+		evaluate(idx/n, idx%n)
+	}
+
+	// TPE loop: split → per-axis densities → draw from good → evaluate the
+	// best-ratio unseen draw.
+	for res.Evaluations < budget {
+		goodR, goodC, badR, badC := boDensities(obs, n)
+		score := func(idx int) float64 {
+			ri, ci := idx/n, idx%n
+			return (goodR[ri] * goodC[ci]) / (badR[ri] * badC[ci])
+		}
+		pick := -1
+		for d := 0; d < boCandidates; d++ {
+			idx := boSampleLevel(src, goodR)*n + boSampleLevel(src, goodC)
+			if evaluated[idx] || idx == pick {
+				continue
+			}
+			if pick < 0 {
+				pick = idx
+				continue
+			}
+			// Higher ratio wins; an exact tie goes to the lower grid index
+			// so the pick never depends on draw order.
+			si, sp := score(idx), score(pick)
+			if si > sp || (si >= sp && idx < pick) {
+				pick = idx
+			}
+		}
+		if pick < 0 {
+			// Every draw landed on seen cells: fall back to the best-ratio
+			// unseen cell, scanned row-major for a deterministic tie-break.
+			for idx := 0; idx < total; idx++ {
+				if evaluated[idx] {
+					continue
+				}
+				if pick < 0 || score(idx) > score(pick) {
+					pick = idx
+				}
+			}
+		}
+		if pick < 0 {
+			break // grid exhausted below budget
+		}
+		evaluate(pick/n, pick%n)
+	}
+	return res
+}
+
+// boDensities builds the per-axis good/bad kernel densities of the TPE
+// split. Feasible observations rank by EDP; when nothing feasible has been
+// seen yet the split ranks by non-ideality instead, steering the search
+// toward the feasible (small-OU) region exactly as RB's infeasible-descent
+// move does. Every density is Laplace-smoothed so unseen levels keep
+// non-zero mass (and the ratio stays finite).
+func boDensities(obs []boObservation, n int) (goodR, goodC, badR, badC []float64) {
+	ranked := make([]boObservation, len(obs))
+	copy(ranked, obs)
+	feasible := 0
+	for _, ob := range ranked {
+		if ob.feasible {
+			feasible++
+		}
+	}
+	// Deterministic ranking: good candidates first. Feasible beats
+	// infeasible; among feasible, lower EDP; among infeasible, lower NF;
+	// final tie-break on grid index keeps the sort total.
+	boSortRanked(ranked)
+	nGood := int(math.Ceil(boGamma * float64(len(ranked))))
+	if feasible > 0 && nGood > feasible {
+		nGood = feasible // never let infeasible cells into the good set
+	}
+	if nGood < 1 {
+		nGood = 1
+	}
+	goodR, goodC = boAxisDensity(ranked[:nGood], n)
+	badR, badC = boAxisDensity(ranked[nGood:], n)
+	return goodR, goodC, badR, badC
+}
+
+// boSortRanked orders observations best-first with a total, deterministic
+// comparator (insertion sort: the slices are at most one budget long).
+func boSortRanked(obs []boObservation) {
+	less := func(a, b boObservation) bool {
+		if a.feasible != b.feasible {
+			return a.feasible
+		}
+		if a.feasible { // both feasible: EDP decides
+			if a.edp < b.edp {
+				return true
+			}
+			if a.edp > b.edp {
+				return false
+			}
+		} else { // both infeasible: NF decides
+			if a.nf < b.nf {
+				return true
+			}
+			if a.nf > b.nf {
+				return false
+			}
+		}
+		if a.rIdx != b.rIdx {
+			return a.rIdx < b.rIdx
+		}
+		return a.cIdx < b.cIdx
+	}
+	for i := 1; i < len(obs); i++ {
+		for j := i; j > 0 && less(obs[j], obs[j-1]); j-- {
+			obs[j], obs[j-1] = obs[j-1], obs[j]
+		}
+	}
+}
+
+// boAxisDensity accumulates the triangular-kernel level densities of one
+// observation set on both axes.
+func boAxisDensity(obs []boObservation, n int) (dR, dC []float64) {
+	dR = make([]float64, n)
+	dC = make([]float64, n)
+	for l := 0; l < n; l++ {
+		dR[l], dC[l] = boSmoothing, boSmoothing
+	}
+	deposit := func(d []float64, level int) {
+		d[level] += 1
+		if level > 0 {
+			d[level-1] += boKernelSide
+		}
+		if level+1 < n {
+			d[level+1] += boKernelSide
+		}
+	}
+	for _, ob := range obs {
+		deposit(dR, ob.rIdx)
+		deposit(dC, ob.cIdx)
+	}
+	return dR, dC
+}
+
+// boSampleLevel draws one level index from an (unnormalised) density.
+func boSampleLevel(src *rng.Source, d []float64) int {
+	var sum float64
+	for _, w := range d {
+		sum += w
+	}
+	u := src.Float64() * sum
+	for l := 0; l < len(d); l++ {
+		u -= d[l]
+		if u < 0 {
+			return l
+		}
+	}
+	return len(d) - 1
+}

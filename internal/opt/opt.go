@@ -1,0 +1,158 @@
+// Package opt is the pluggable optimizer subsystem behind Algorithm 1
+// line 6: every strategy that can turn a layer objective into an OU-size
+// decision implements one interface, and the controller, the experiment
+// drivers and the CLIs select strategies by registry name instead of
+// hardcoding the paper's two searches.
+//
+// Four strategies are registered:
+//
+//   - "rb"     — the paper's resource-bounded K-step local walk
+//     (search.ResourceBounded re-homed; budget = step count K).
+//   - "ex"     — the paper's exhaustive grid scan (search.Exhaustive
+//     re-homed; budget ignored, always the full grid).
+//   - "bo"     — a TPE-style Bayesian optimizer over the discrete grid
+//     (bo.go; budget = max candidate evaluations, default half the grid),
+//     following the surrogate-search line of arXiv 2605.08461.
+//   - "pareto" — a multi-objective optimizer returning the non-dominated
+//     (energy, latency, NF) front (pareto.go; budget ignored), following
+//     arXiv 2109.05437; the single pick handed to the controller is the
+//     scalar-EDP minimum over the feasible set (see Pareto for the
+//     scalarization contract).
+//
+// Every strategy reports its candidate-evaluation count and feeds each
+// evaluation through search.Objective.Probe, so the decision-audit log and
+// the §V.B-style overhead comparisons work identically for all of them.
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"odin/internal/ou"
+	"odin/internal/search"
+)
+
+// StrategyDegraded is the audit/trace strategy string the controller uses
+// when no OU size satisfies η and the layer runs degraded at the smallest
+// grid size. It is a controller condition, not an optimizer, so it lives
+// here as the one non-registry strategy name.
+const StrategyDegraded = "degraded"
+
+// Point is one feasible candidate with the scores the multi-objective
+// front is computed over (the analytical Eq. 1/2 costs and the effective
+// non-ideality at the decision's device age).
+type Point struct {
+	Size    ou.Size
+	Energy  float64 // J
+	Latency float64 // s
+	NF      float64 // effective non-ideality
+	EDP     float64 // J·s (Energy·Latency)
+}
+
+// Dominates reports strict Pareto dominance: p is no worse than q on every
+// objective (energy, latency, NF — all minimised) and strictly better on
+// at least one.
+func (p Point) Dominates(q Point) bool {
+	if p.Energy > q.Energy || p.Latency > q.Latency || p.NF > q.NF {
+		return false
+	}
+	return p.Energy < q.Energy || p.Latency < q.Latency || p.NF < q.NF
+}
+
+// Result is the outcome of one Optimize call. The embedded search.Result
+// carries the single pick (Best/BestEDP/Found) and the candidate
+// evaluations spent; Front is non-nil only for multi-objective strategies
+// and lists the non-dominated candidates in grid (row-major) order.
+type Result struct {
+	search.Result
+	Front []Point
+}
+
+// Optimizer is one line-6 search strategy. Optimize finds an OU size for
+// the layer objective o on grid g, seeded at start (already feasibility-
+// clamped by the controller) and bounded by budget.
+//
+// The budget is the strategy's effort knob and is interpreted per
+// strategy — rb: ±1 steps K (paper: 3); bo: max candidate evaluations
+// (default: half the grid); ex/pareto: ignored, the full grid is always
+// scanned. budget <= 0 selects the strategy default. Implementations must
+// be pure functions of their arguments (no hidden state, randomness only
+// via internal/rng streams labelled from the objective) so that replays
+// are byte-identical at any worker count.
+//
+// Name returns the registry name; the controller stamps it into
+// decision-audit records and trace spans verbatim.
+type Optimizer interface {
+	Optimize(g ou.Grid, o search.Objective, start ou.Size, budget int) Result
+	Name() string
+}
+
+// ResourceBounded re-homes the paper's K-step local walk (§V.B "RB"): the
+// low-overhead strategy Odin uses online. Budget is the step count K;
+// budget <= 0 uses the paper's K = 3.
+type ResourceBounded struct{}
+
+// Name returns "rb".
+func (ResourceBounded) Name() string { return "rb" }
+
+// Optimize runs search.ResourceBounded from start with K = budget steps.
+func (ResourceBounded) Optimize(g ou.Grid, o search.Objective, start ou.Size, budget int) Result {
+	if budget <= 0 {
+		budget = 3
+	}
+	return Result{Result: search.ResourceBounded(g, o, start, budget)}
+}
+
+// Exhaustive re-homes the paper's full grid scan (§V.B "EX"): highest
+// quality at Levels² comparator evaluations. Start and budget are ignored.
+type Exhaustive struct{}
+
+// Name returns "ex".
+func (Exhaustive) Name() string { return "ex" }
+
+// Optimize runs search.Exhaustive over the whole grid.
+func (Exhaustive) Optimize(g ou.Grid, o search.Objective, _ ou.Size, _ int) Result {
+	return Result{Result: search.Exhaustive(g, o)}
+}
+
+// registry lists every strategy in presentation order (the order tables
+// and CLIs enumerate them in).
+var registry = []Optimizer{ResourceBounded{}, Exhaustive{}, Bayesian{}, Pareto{}}
+
+// All returns every registered optimizer in presentation order.
+func All() []Optimizer {
+	out := make([]Optimizer, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the registered strategy names in presentation order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, o := range registry {
+		out[i] = o.Name()
+	}
+	return out
+}
+
+// ByName returns the registered optimizer with the given name, or an error
+// listing the valid names (sorted, for a stable message).
+func ByName(name string) (Optimizer, error) {
+	for _, o := range registry {
+		if o.Name() == name {
+			return o, nil
+		}
+	}
+	names := Names()
+	sort.Strings(names)
+	return nil, fmt.Errorf("opt: unknown optimizer %q (have %v)", name, names)
+}
+
+// probe reports one candidate evaluation to the objective's audit hook, if
+// any — the same contract search.Exhaustive/ResourceBounded honour, kept
+// here for the strategies this package implements itself.
+func probe(o search.Objective, s ou.Size, feasible bool, edp float64) {
+	if o.Probe != nil {
+		o.Probe(s, feasible, edp)
+	}
+}

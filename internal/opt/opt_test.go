@@ -1,0 +1,127 @@
+package opt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"odin/internal/accuracy"
+	"odin/internal/ou"
+	"odin/internal/pim"
+	"odin/internal/reram"
+	"odin/internal/search"
+)
+
+// fixtures returns the default platform models the optimizer tests score
+// against (the same ones the search package's suites use).
+func fixtures() (accuracy.Model, ou.CostModel, ou.Grid) {
+	arch := pim.DefaultArch()
+	return accuracy.Default(reram.DefaultDeviceParams()), arch.CostModel(), arch.Grid()
+}
+
+func testObjective(layer, of int, age float64) search.Objective {
+	acc, cm, _ := fixtures()
+	return search.Objective{
+		Cost:  cm,
+		Work:  ou.LayerWork{Xbars: 2, RowsUsed: 100, ColsUsed: 80},
+		Acc:   acc,
+		Layer: layer,
+		Of:    of,
+		Time:  age,
+	}
+}
+
+func TestRegistryNamesAndByName(t *testing.T) {
+	t.Parallel()
+	want := []string{"rb", "ex", "bo", "pareto"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], name)
+		}
+		o, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if o.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, o.Name())
+		}
+	}
+	if _, err := ByName("gradient"); err == nil {
+		t.Fatal("ByName accepted an unknown strategy")
+	} else if !strings.Contains(err.Error(), "bo") {
+		t.Fatalf("unknown-strategy error %q does not list the valid names", err)
+	}
+}
+
+// TestReHomedStrategiesMatchSearch pins the re-homing contract: the "rb"
+// and "ex" registry entries produce byte-identical results to the search
+// package functions they wrap, including the degenerate budget default.
+func TestReHomedStrategiesMatchSearch(t *testing.T) {
+	t.Parallel()
+	_, _, grid := fixtures()
+	o := testObjective(2, 8, 1e4)
+	start := grid.SizeAt(2, 2)
+
+	for _, k := range []int{1, 3, 5} {
+		got := (ResourceBounded{}).Optimize(grid, o, start, k)
+		want := search.ResourceBounded(grid, o, start, k)
+		if got.Best != want.Best || got.Found != want.Found ||
+			got.Evaluations != want.Evaluations ||
+			math.Float64bits(got.BestEDP) != math.Float64bits(want.BestEDP) {
+			t.Fatalf("rb(k=%d) = %+v, search.ResourceBounded = %+v", k, got.Result, want)
+		}
+	}
+	if got, want := (ResourceBounded{}).Optimize(grid, o, start, 0),
+		search.ResourceBounded(grid, o, start, 3); got.Evaluations != want.Evaluations {
+		t.Fatalf("rb default budget: %d evaluations, want the paper K=3's %d",
+			got.Evaluations, want.Evaluations)
+	}
+
+	got := (Exhaustive{}).Optimize(grid, o, start, 7)
+	want := search.Exhaustive(grid, o)
+	if got.Best != want.Best || got.Found != want.Found ||
+		got.Evaluations != want.Evaluations ||
+		math.Float64bits(got.BestEDP) != math.Float64bits(want.BestEDP) {
+		t.Fatalf("ex = %+v, search.Exhaustive = %+v", got.Result, want)
+	}
+}
+
+// TestBODefaultBudgetIsHalfGrid pins the headline overhead contract: with
+// budget <= 0 the Bayesian optimizer spends at most half of EX's
+// comparator work.
+func TestBODefaultBudgetIsHalfGrid(t *testing.T) {
+	t.Parallel()
+	_, _, grid := fixtures()
+	o := testObjective(0, 4, 1)
+	res := (Bayesian{}).Optimize(grid, o, grid.SizeAt(2, 2), 0)
+	half := (grid.Levels()*grid.Levels() + 1) / 2
+	if res.Evaluations > half {
+		t.Fatalf("bo default spent %d evaluations, want <= %d (half the grid)", res.Evaluations, half)
+	}
+	ex := (Exhaustive{}).Optimize(grid, o, grid.SizeAt(2, 2), 0)
+	if 2*res.Evaluations > ex.Evaluations+1 {
+		t.Fatalf("bo spent %d evaluations vs EX %d — more than half", res.Evaluations, ex.Evaluations)
+	}
+}
+
+// TestDominates pins the strict-dominance definition the front is built
+// on: better-or-equal everywhere and strictly better somewhere.
+func TestDominates(t *testing.T) {
+	t.Parallel()
+	base := Point{Energy: 1, Latency: 1, NF: 1}
+	better := Point{Energy: 0.5, Latency: 1, NF: 1}
+	mixed := Point{Energy: 0.5, Latency: 2, NF: 1}
+	if !better.Dominates(base) {
+		t.Fatal("strictly better point does not dominate")
+	}
+	if base.Dominates(base) {
+		t.Fatal("a point dominates itself")
+	}
+	if mixed.Dominates(base) || base.Dominates(mixed) {
+		t.Fatal("trade-off points must be mutually non-dominated")
+	}
+}
