@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint lintfix-audit test race bench benchsmoke check loadsmoke parsmoke obssmoke optsmoke ci
+.PHONY: all build fmt vet lint lintfix-audit test race bench benchsmoke check loadsmoke parsmoke obssmoke optsmoke cachesmoke ci
 
 all: ci
 
@@ -117,4 +117,26 @@ optsmoke:
 	cmp $$tmp/w1.txt $$tmp/w4.txt && \
 	rm -rf $$tmp
 
-ci: build fmt vet lint test race benchsmoke check loadsmoke parsmoke obssmoke optsmoke
+# Decision-cache gate: race-check the cache package and every cached-path
+# property (byte-identity, poisoned-entry invalidation, shared-fleet
+# access), pin the allocation-free hot paths, then prove the headline
+# contract from the command line: `odinsim all` renders byte-identical
+# artefacts with the cache on (default) and off, at one worker and on a
+# multi-worker pool. The runner's `<== ... done in Xs` footer carries
+# wall-clock time, the one line that legitimately differs between runs.
+cachesmoke:
+	$(GO) test -race ./internal/decache/...
+	$(GO) test -race -run 'TestPropCachedController|TestCachedReprogram|TestCacheShared|TestPolicyUpdateInvalidates|TestCachedDecision' ./internal/core
+	$(GO) test -race -run 'TestReplayCachedByteIdentical|TestSharedCacheConcurrentChips' ./internal/serve
+	$(GO) test -run 'TestSearchAllocFree' ./internal/search
+	$(GO) test -run 'TestOptAllocFree|TestBOAllocBudget' ./internal/opt
+	$(GO) test -run 'TestCacheFlagOutputIdentical' ./cmd/odinsim
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/odinsim -cache on -workers 1 all | grep -v '^<== ' > $$tmp/on1.txt && \
+	$(GO) run ./cmd/odinsim -cache off -workers 1 all | grep -v '^<== ' > $$tmp/off1.txt && \
+	cmp $$tmp/on1.txt $$tmp/off1.txt && \
+	$(GO) run ./cmd/odinsim -cache on -workers 4 all | grep -v '^<== ' > $$tmp/on4.txt && \
+	cmp $$tmp/on1.txt $$tmp/on4.txt && \
+	rm -rf $$tmp
+
+ci: build fmt vet lint test race benchsmoke check loadsmoke parsmoke obssmoke optsmoke cachesmoke

@@ -17,6 +17,7 @@ import (
 
 	"odin/internal/clock"
 	"odin/internal/core"
+	"odin/internal/decache"
 	"odin/internal/dnn"
 	"odin/internal/experiments"
 	"odin/internal/ou"
@@ -216,6 +217,31 @@ func BenchmarkControllerLayerDecision(b *testing.B) {
 		predicted := pol.Predict(feat)
 		start := search.ClampFeasible(grid, obj, predicted)
 		_ = search.ResourceBounded(grid, obj, start, 3)
+	}
+}
+
+// BenchmarkControllerLayerDecisionCached measures the same per-layer
+// decision slice replayed through the decision cache (internal/decache):
+// the serving steady state once a (layer, age-bucket, prediction) decision
+// has been memoized. The live-vs-cached ratio is the cache's headline win,
+// recorded per strategy in BENCH_odinsim.json by `odinsim bench`.
+func BenchmarkControllerLayerDecisionCached(b *testing.B) {
+	sys := core.DefaultSystem()
+	wl, err := sys.Prepare(dnn.NewVGG11())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultControllerOptions()
+	opts.Cache = decache.New()
+	decide, err := core.DecisionBench(sys, wl, NewPolicy(sys, 1), opts, 4, 1e4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	decide() // warm: the miss populates the entry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decide()
 	}
 }
 

@@ -29,12 +29,11 @@ import (
 
 	"odin/internal/clock"
 	"odin/internal/core"
+	"odin/internal/decache"
 	"odin/internal/dnn"
 	"odin/internal/experiments"
-	"odin/internal/opt"
 	"odin/internal/par"
 	"odin/internal/policy"
-	"odin/internal/search"
 	"odin/internal/telemetry"
 )
 
@@ -58,6 +57,10 @@ type cliOptions struct {
 	model   string
 	runs    int     // 0 = default
 	horizon float64 // 0 = default
+
+	// cacheOff disables the controller decision cache process-wide
+	// (-cache=off), for byte-for-byte cached-vs-uncached comparisons.
+	cacheOff bool
 }
 
 // parseArgs scans args for flags wherever they appear and returns the
@@ -128,6 +131,19 @@ func parseArgs(args []string) (cliOptions, []string, error) {
 				return opts, nil, fmt.Errorf("flag %s needs a positive duration in seconds, got %q", name, v)
 			}
 			opts.horizon = h
+		case "-cache", "--cache":
+			v, err := takesValue(name)
+			if err != nil {
+				return opts, nil, err
+			}
+			switch v {
+			case "on":
+				opts.cacheOff = false
+			case "off":
+				opts.cacheOff = true
+			default:
+				return opts, nil, fmt.Errorf("flag %s needs on or off, got %q", name, v)
+			}
 		case "-h", "-help", "--help":
 			opts.help = true
 		default:
@@ -149,6 +165,10 @@ func run(stdout, stderr io.Writer, args []string, clk clock.Clock) error {
 		usage(stdout)
 		return nil
 	}
+	// The decision cache is deterministic by contract (artefacts are
+	// byte-identical either way); the switch exists so that contract can be
+	// checked from the command line (`make cachesmoke` diffs the two).
+	core.SetDecisionCacheDefault(!opts.cacheOff)
 	if len(pos) == 0 {
 		usage(stdout)
 		return fmt.Errorf("no experiment selected")
@@ -243,11 +263,18 @@ type benchReport struct {
 
 // decisionBench holds the per-strategy decision cost (ns per decision):
 // the paper's K=3 resource-bounded walk, the exhaustive scan, and the
-// TPE-style Bayesian sampler at its half-grid default budget.
+// TPE-style Bayesian sampler at its half-grid default budget — each
+// measured live (cache disabled) and replayed from a warm decision cache
+// (internal/decache). The cached figures are the serving steady state:
+// repeated (layer, age-bucket, prediction) decisions short-circuit to a
+// map hit.
 type decisionBench struct {
-	RB float64 `json:"rb"`
-	EX float64 `json:"ex"`
-	BO float64 `json:"bo"`
+	RB       float64 `json:"rb"`
+	EX       float64 `json:"ex"`
+	BO       float64 `json:"bo"`
+	RBCached float64 `json:"rb_cached"`
+	EXCached float64 `json:"ex_cached"`
+	BOCached float64 `json:"bo_cached"`
 }
 
 type benchExpReport struct {
@@ -313,9 +340,11 @@ func runBench(stdout, stderr io.Writer, opts cliOptions, ids []string, clk clock
 	if err := os.WriteFile(opts.out, append(b, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "odinsim bench: sequential %.0f ms, parallel %.0f ms (workers=%d, speedup %.2fx), decision rb %.0f / ex %.0f / bo %.0f ns/op -> %s\n",
+	fmt.Fprintf(stdout, "odinsim bench: sequential %.0f ms, parallel %.0f ms (workers=%d, speedup %.2fx), decision rb %.0f / ex %.0f / bo %.0f ns/op (cached %.0f / %.0f / %.0f) -> %s\n",
 		rep.SequentialMS, rep.ParallelMS, rep.Workers, rep.Speedup,
-		rep.DecisionNsPerOp.RB, rep.DecisionNsPerOp.EX, rep.DecisionNsPerOp.BO, opts.out)
+		rep.DecisionNsPerOp.RB, rep.DecisionNsPerOp.EX, rep.DecisionNsPerOp.BO,
+		rep.DecisionNsPerOp.RBCached, rep.DecisionNsPerOp.EXCached, rep.DecisionNsPerOp.BOCached,
+		opts.out)
 	if reg != nil {
 		if err := reg.WritePrometheus(stderr); err != nil {
 			return err
@@ -328,9 +357,12 @@ func runBench(stdout, stderr io.Writer, opts cliOptions, ids []string, clk clock
 // prediction plus the clamp and the line-6 refinement at its default
 // budget, the serving-path hot loop — on the reference layer
 // BenchmarkControllerLayerDecision uses (VGG11 layer 4 at age 10⁴ s), once
-// per timed strategy. Time comes from the injected clock; if it does not
-// advance (virtual clock in tests), each measurement stops after one batch
-// and reports zero.
+// per timed strategy, live (cache disabled) and replayed from a warm
+// decision cache. Both paths run the real controller slice via
+// core.DecisionBench, so the numbers can't drift from production control
+// flow. Time comes from the injected clock; if it does not advance
+// (virtual clock in tests), each measurement stops after one batch and
+// reports zero.
 func benchDecision(clk clock.Clock) (decisionBench, error) {
 	sys := core.DefaultSystem()
 	wl, err := sys.Prepare(dnn.NewVGG11())
@@ -338,21 +370,20 @@ func benchDecision(clk clock.Clock) (decisionBench, error) {
 		return decisionBench{}, err
 	}
 	pol := policy.New(policy.Config{Grid: sys.Grid(), Seed: 1})
-	grid := sys.Grid()
-	feat := wl.FeaturesAt(4, 1e4)
-	obj := core.LayerObjective(sys, wl, 4, 1e4)
-	measure := func(name string) (float64, error) {
-		optim, err := opt.ByName(name)
+	measure := func(name string, cached bool) (float64, error) {
+		opts := core.DefaultControllerOptions()
+		opts.Strategy = name
+		if cached {
+			opts.Cache = decache.New()
+		} else {
+			opts.DisableDecisionCache = true
+		}
+		decide, err := core.DecisionBench(sys, wl, pol, opts, 4, 1e4)
 		if err != nil {
 			return 0, err
 		}
-		decide := func() {
-			predicted := pol.Predict(feat)
-			start := search.ClampFeasible(grid, obj, predicted)
-			_ = optim.Optimize(grid, obj, start, 0)
-		}
 		for i := 0; i < 100; i++ {
-			decide() // warm-up
+			decide() // warm-up; with a cache this also populates the entry
 		}
 		const batch = 256
 		const maxIters = 1 << 17
@@ -375,14 +406,17 @@ func benchDecision(clk clock.Clock) (decisionBench, error) {
 		return elapsed * 1e9 / float64(iters), nil
 	}
 	var out decisionBench
-	if out.RB, err = measure("rb"); err != nil {
-		return out, err
-	}
-	if out.EX, err = measure("ex"); err != nil {
-		return out, err
-	}
-	if out.BO, err = measure("bo"); err != nil {
-		return out, err
+	for _, m := range []struct {
+		name   string
+		cached bool
+		dst    *float64
+	}{
+		{"rb", false, &out.RB}, {"ex", false, &out.EX}, {"bo", false, &out.BO},
+		{"rb", true, &out.RBCached}, {"ex", true, &out.EXCached}, {"bo", true, &out.BOCached},
+	} {
+		if *m.dst, err = measure(m.name, m.cached); err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }
@@ -427,7 +461,7 @@ func runTrace(stdout io.Writer, opts cliOptions, rest []string) error {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: odinsim [-json] [-workers N] [-metrics] list | all | bench [-out FILE] | trace -model NAME | <experiment-id>...")
+	fmt.Fprintln(w, "usage: odinsim [-json] [-workers N] [-metrics] [-cache on|off] list | all | bench [-out FILE] | trace -model NAME | <experiment-id>...")
 	fmt.Fprintln(w, "experiments:")
 	for _, e := range experiments.All() {
 		fmt.Fprintf(w, "  %-10s %s\n", e.ID, e.Title)

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"odin/internal/clock"
+	"odin/internal/core"
 	"odin/internal/experiments"
 )
 
@@ -56,6 +57,8 @@ func TestParseArgsRejectsBadFlags(t *testing.T) {
 		{"-workers=-2", "all"}, // negative
 		{"-bogus", "all"},      // unknown flag
 		{"-out"},               // missing value
+		{"-cache"},             // missing value
+		{"-cache", "maybe"},    // not on/off
 	} {
 		if _, _, err := parseArgs(args); err == nil {
 			t.Fatalf("parseArgs(%v) accepted bad input", args)
@@ -134,6 +137,27 @@ func TestWorkersFlagOutputIdentical(t *testing.T) {
 	}
 }
 
+// TestCacheFlagOutputIdentical is the CLI face of the decision-cache
+// contract: -cache=off and -cache=on (the default) render byte-identical
+// artefacts. Not parallel — the flag flips process-wide state, which this
+// test restores on exit.
+func TestCacheFlagOutputIdentical(t *testing.T) {
+	defer core.SetDecisionCacheDefault(true)
+	render := func(mode string) string {
+		var out, errs bytes.Buffer
+		if err := run(&out, &errs, []string{"-cache", mode, "tab1", "fig3", "overhead"}, clock.NewVirtual(0)); err != nil {
+			t.Fatalf("-cache=%s: %v", mode, err)
+		}
+		return out.String()
+	}
+	if on, off := render("on"), render("off"); on != off {
+		t.Fatalf("-cache changed the rendered artefacts\non:  %q\noff: %q", on, off)
+	}
+	if core.DecisionCacheDefault() {
+		t.Fatal("-cache=off did not flip the process-wide default")
+	}
+}
+
 func TestAllCannotCombineWithIDs(t *testing.T) {
 	t.Parallel()
 	if err := run(io2(), io2(), []string{"all", "tab1"}, clock.NewVirtual(0)); err == nil {
@@ -193,7 +217,7 @@ func TestBenchWritesReport(t *testing.T) {
 	if !strings.Contains(string(b), `"decision_ns_per_op"`) {
 		t.Fatalf("bench report missing decision_ns_per_op:\n%s", b)
 	}
-	for _, k := range []string{`"rb"`, `"ex"`, `"bo"`} {
+	for _, k := range []string{`"rb"`, `"ex"`, `"bo"`, `"rb_cached"`, `"ex_cached"`, `"bo_cached"`} {
 		if !strings.Contains(string(b), k) {
 			t.Fatalf("bench report missing per-strategy decision key %s:\n%s", k, b)
 		}

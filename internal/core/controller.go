@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"odin/internal/decache"
 	"odin/internal/mlp"
 	"odin/internal/obs"
 	"odin/internal/opt"
@@ -83,7 +84,35 @@ type ControllerOptions struct {
 	// or the search won each layer. Disabled (nil) auditing costs one
 	// pointer test per run.
 	Audit *obs.AuditLog
+
+	// Cache, when non-nil, memoizes the per-layer line-6 decisions (and
+	// policy predictions) in the given decision cache; the serving layer
+	// shares one cache across a fleet of same-platform chips. When nil and
+	// the process-wide default is on (SetDecisionCacheDefault, the initial
+	// state), the controller creates a private cache. Cached decisions are
+	// byte-identical to live searches — see internal/decache for the
+	// argument and DESIGN.md §13 for the invalidation contract.
+	Cache *decache.Cache
+	// DisableDecisionCache opts this controller out of decision caching
+	// regardless of Cache and the process-wide default (`odinsim
+	// -cache=off` uses the global switch instead, so experiment drivers
+	// need no plumbing).
+	DisableDecisionCache bool
 }
+
+// decisionCacheOff is the process-wide decision-cache default: zero value
+// (false) means controllers without an explicit Cache memoize into a
+// private one. `odinsim -cache=off` flips it to compare cached and
+// uncached artefacts byte for byte.
+var decisionCacheOff atomic.Bool
+
+// SetDecisionCacheDefault turns the process-wide decision-cache default on
+// or off. Controllers constructed with an explicit ControllerOptions.Cache
+// are unaffected; DisableDecisionCache still wins per controller.
+func SetDecisionCacheDefault(enabled bool) { decisionCacheOff.Store(!enabled) }
+
+// DecisionCacheDefault reports the process-wide decision-cache default.
+func DecisionCacheDefault() bool { return !decisionCacheOff.Load() }
 
 // DefaultControllerOptions returns the paper's settings.
 func DefaultControllerOptions() ControllerOptions {
@@ -143,6 +172,21 @@ type Controller struct {
 	// strings in audit records and trace spans.
 	optim opt.Optimizer
 
+	// cache memoizes line-6 decisions; nil disables caching. dctx is the
+	// interned decision context of the configured strategy, dctxEX the
+	// exhaustive-escalation context (non-nil only with ConfidenceEX).
+	cache  *decache.Cache
+	dctx   *decache.Context
+	dctxEX *decache.Context
+
+	// scratch lends the line-6 searches reusable buffers (one per
+	// controller: RunInference is serialised by `running`). probeBuf and
+	// recordProbe capture candidate evaluations for cache entries and
+	// audit records without a fresh closure per layer.
+	scratch     *search.Scratch
+	probeBuf    []decache.Probe
+	recordProbe func(s ou.Size, feasible bool, edp float64)
+
 	programmedAt float64 // simulation time of the last (re)programming
 	reprograms   int
 	updates      int
@@ -179,15 +223,36 @@ func NewController(sys System, wl *Workload, pol *policy.Policy, opts Controller
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Controller{
-		sys:   sys,
-		wl:    wl,
-		pol:   pol,
-		buf:   policy.NewBuffer(resolved.BufferSize),
-		opts:  resolved,
-		optim: optim,
-	}, nil
+	c := &Controller{
+		sys:     sys,
+		wl:      wl,
+		pol:     pol,
+		buf:     policy.NewBuffer(resolved.BufferSize),
+		opts:    resolved,
+		optim:   optim,
+		scratch: search.NewScratch(),
+	}
+	c.recordProbe = func(s ou.Size, feasible bool, edp float64) {
+		c.probeBuf = append(c.probeBuf, decache.Probe{Size: s, Feasible: feasible, EDP: edp})
+	}
+	if !resolved.DisableDecisionCache && (resolved.Cache != nil || DecisionCacheDefault()) {
+		c.cache = resolved.Cache
+		if c.cache == nil {
+			c.cache = decache.New()
+		}
+		cost := sys.Arch.CostModel()
+		c.dctx = c.cache.Context(sys.Grid(), cost, sys.Acc, optim.Name(), resolved.SearchBudget)
+		if resolved.ConfidenceEX && optim.Name() != (opt.Exhaustive{}).Name() {
+			c.dctxEX = c.cache.Context(sys.Grid(), cost, sys.Acc,
+				(opt.Exhaustive{}).Name(), resolved.SearchBudget)
+		}
+	}
+	return c, nil
 }
+
+// DecisionCache returns the cache memoizing this controller's line-6
+// decisions (nil when caching is disabled).
+func (c *Controller) DecisionCache() *decache.Cache { return c.cache }
 
 // Strategy returns the name of the line-6 optimizer the controller runs.
 func (c *Controller) Strategy() string { return c.optim.Name() }
@@ -219,7 +284,6 @@ func (c *Controller) RunInference(t float64) RunReport {
 	defer c.running.Store(false)
 	age := c.Age(t)
 	rep := RunReport{Time: t, Age: age, Sizes: make([]ou.Size, c.wl.Layers())}
-	grid := c.sys.Grid()
 	needReprogram := false
 
 	// Observability is strictly opt-in: with both sinks nil the per-run
@@ -238,88 +302,60 @@ func (c *Controller) RunInference(t float64) RunReport {
 	}
 
 	for j := 0; j < c.wl.Layers(); j++ {
-		feat := c.wl.FeaturesAt(j, age)
-		predicted := c.pol.Predict(feat) // line 5
-		obj := c.sys.objective(c.wl, j, age)
-
-		var cands []obs.Candidate
-		if audit != nil {
-			// Recompute the full score breakdown per candidate; the search
-			// itself only needs EDP + feasibility, and the extra comparator
-			// work is billed to auditing, not the modelled hardware.
-			score := obj
-			obj.Probe = func(s ou.Size, feasible bool, edp float64) {
-				cost := score.Cost.Evaluate(score.Work, s)
-				cands = append(cands, obs.Candidate{
-					Size: s, Energy: cost.Energy, Latency: cost.Latency,
-					EDP: edp, NF: score.NF(s), Feasible: feasible,
-				})
-			}
-		}
+		out := c.decideLayer(j, age, audit != nil)
+		rep.Sizes[j] = out.chosen
 
 		// Lines 7–8 precondition: when no OU size can meet η, the layer
 		// runs degraded at the smallest OU and the device is reprogrammed
-		// before the next run. NF is monotone in R+C, so checking the
-		// smallest grid size decides global satisfiability.
-		if !c.sys.Acc.AnySatisfiable(j, c.wl.Layers(), grid, age) {
+		// before the next run.
+		if out.degraded {
 			needReprogram = true
-			rep.Sizes[j] = grid.SizeAt(0, 0)
 			if audit != nil {
 				audit.Layers = append(audit.Layers, obs.LayerDecision{
-					Layer: j, Predicted: predicted, Start: rep.Sizes[j],
-					Chosen: rep.Sizes[j], Strategy: opt.StrategyDegraded,
+					Layer: j, Predicted: out.predicted, Start: out.chosen,
+					Chosen: out.chosen, Strategy: out.strategy,
 				})
 			}
 			if traced {
-				stratByLayer[j] = opt.StrategyDegraded
+				stratByLayer[j] = out.strategy
 			}
 			continue
 		}
 
-		// Line 6: shrink the prediction into the feasible region if drift
-		// has outrun the policy, then refine with the configured strategy.
-		// Low policy confidence escalates any non-exhaustive strategy to
-		// the full grid scan (the uncertainty-aware ConfidenceEX
-		// extension); the strategy string always comes from the optimizer
-		// that actually ran, so attribution stays exact.
-		start := search.ClampFeasible(grid, obj, predicted)
-		optim := c.optim
-		if c.opts.ConfidenceEX && optim.Name() != (opt.Exhaustive{}).Name() &&
-			c.pol.Confidence(feat) < c.opts.ConfidenceThreshold {
-			optim = opt.Exhaustive{}
-		}
-		res := optim.Optimize(grid, obj, start, c.opts.SearchBudget)
-		strategy := optim.Name()
-		rep.SearchEvaluations += res.Evaluations
-		if !res.Found {
-			// The bounded walk can miss a feasible region the clamp already
-			// located; fall back to the clamped start.
-			res.Best = start
-		}
-		rep.Sizes[j] = res.Best
+		rep.SearchEvaluations += out.evaluations
 		if audit != nil {
-			var front []ou.Size
-			if len(res.Front) > 0 {
-				front = make([]ou.Size, len(res.Front))
-				for i, p := range res.Front {
-					front[i] = p.Size
+			var cands []obs.Candidate
+			if len(out.probes) > 0 {
+				// Rebuild the full score breakdown per recorded candidate at
+				// the current age. Every component is a pure function of
+				// (size, age), so replayed (cached) and live decisions audit
+				// byte-identically; the extra comparator work is billed to
+				// auditing, not the modelled hardware.
+				score := c.sys.objective(c.wl, j, age)
+				cands = make([]obs.Candidate, 0, len(out.probes))
+				for _, p := range out.probes {
+					cost := score.Cost.Evaluate(score.Work, p.Size)
+					cands = append(cands, obs.Candidate{
+						Size: p.Size, Energy: cost.Energy, Latency: cost.Latency,
+						EDP: p.EDP, NF: score.NF(p.Size), Feasible: p.Feasible,
+					})
 				}
 			}
 			audit.Layers = append(audit.Layers, obs.LayerDecision{
-				Layer: j, Predicted: predicted, Start: start,
-				Chosen: res.Best, Strategy: strategy,
-				Evaluations: res.Evaluations,
-				PolicyWon:   predicted == res.Best, Candidates: cands,
-				Front: front,
+				Layer: j, Predicted: out.predicted, Start: out.start,
+				Chosen: out.chosen, Strategy: out.strategy,
+				Evaluations: out.evaluations,
+				PolicyWon:   out.predicted == out.chosen, Cached: out.cached,
+				Candidates: cands, Front: out.front,
 			})
 		}
 		if traced {
-			stratByLayer[j], evalsByLayer[j] = strategy, res.Evaluations
+			stratByLayer[j], evalsByLayer[j] = out.strategy, out.evaluations
 		}
 
-		if predicted != res.Best { // lines 9–10
+		if out.predicted != out.chosen { // lines 9–10
 			rep.Disagreements++
-			if c.buf.Add(policy.Example{F: feat, Target: res.Best}) {
+			if c.buf.Add(policy.Example{F: c.wl.FeaturesAt(j, age), Target: out.chosen}) {
 				c.updatePolicy() // line 11
 				rep.PolicyUpdated = true
 			}
@@ -354,6 +390,144 @@ func (c *Controller) RunInference(t float64) RunReport {
 		c.opts.Audit.Add(*audit)
 	}
 	return rep
+}
+
+// layerOutcome is one per-layer line-6 decision plus the metadata needed
+// to fill the run report, audit record and trace spans identically whether
+// the decision was computed live or replayed from the cache.
+type layerOutcome struct {
+	predicted ou.Size
+	start     ou.Size
+	chosen    ou.Size
+	strategy  string
+
+	evaluations int
+	cached      bool
+	degraded    bool
+
+	// probes lists the candidate evaluations in search order. Populated
+	// whenever the controller caches decisions or wantProbes was set; may
+	// alias controller scratch, so consume before the next decision.
+	probes []decache.Probe
+	// front lists the non-dominated sizes of a multi-objective strategy.
+	front []ou.Size
+}
+
+// decideLayer runs (or replays) Algorithm 1 lines 5–6 for layer j at
+// device age `age`: policy prediction, feasibility clamp, and the line-6
+// strategy search, memoized through the decision cache when one is
+// attached. It touches no learning state — RunInference owns the
+// disagreement buffer — so benchmarks replay it in isolation
+// (DecisionBench). wantProbes forces candidate recording even when caching
+// is off (the audit path).
+func (c *Controller) decideLayer(j int, age float64, wantProbes bool) layerOutcome {
+	feat := c.wl.FeaturesAt(j, age)
+	var predicted ou.Size
+	if c.cache != nil {
+		var ok bool
+		if predicted, ok = c.cache.PredictLookup(c.pol, feat); !ok {
+			predicted = c.pol.Predict(feat) // line 5
+			c.cache.PredictStore(c.pol, feat, predicted)
+		}
+	} else {
+		predicted = c.pol.Predict(feat) // line 5
+	}
+	grid := c.sys.Grid()
+	total := c.wl.Layers()
+
+	// Resolve the effective strategy first: a ConfidenceEX escalation
+	// switches the decision context, so it must precede the cache lookup.
+	// Low policy confidence escalates any non-exhaustive strategy to the
+	// full grid scan; the strategy string always comes from the optimizer
+	// that actually ran, so attribution stays exact.
+	optim, dctx := c.optim, c.dctx
+	if c.opts.ConfidenceEX && optim.Name() != (opt.Exhaustive{}).Name() &&
+		c.pol.Confidence(feat) < c.opts.ConfidenceThreshold {
+		optim = opt.Exhaustive{}
+		dctx = c.dctxEX
+	}
+
+	if c.cache != nil {
+		// Degenerate case via the bucket: Bucket == 0 is bit-identical to
+		// !AnySatisfiable (the same predicate on the smallest grid size).
+		bucket := dctx.Bucket(j, total, age)
+		if bucket == 0 {
+			smallest := grid.SizeAt(0, 0)
+			return layerOutcome{predicted: predicted, start: smallest,
+				chosen: smallest, strategy: opt.StrategyDegraded, degraded: true}
+		}
+		key := decache.Key{Work: c.wl.Works[j], Layer: j, Of: total,
+			Predicted: predicted, Bucket: bucket}
+		if e, ok := dctx.Lookup(key); ok {
+			return layerOutcome{predicted: predicted, start: e.Start,
+				chosen: e.Chosen, strategy: optim.Name(),
+				evaluations: e.Evaluations, cached: true,
+				probes: e.Probes, front: e.Front}
+		}
+		// Miss: run the live pass, recording every probe so later hits can
+		// replay the audit breakdown.
+		obj := c.sys.objective(c.wl, j, age)
+		obj.Scratch = c.scratch
+		c.probeBuf = c.probeBuf[:0]
+		obj.Probe = c.recordProbe
+		start := search.ClampFeasible(grid, obj, predicted)
+		res := optim.Optimize(grid, obj, start, c.opts.SearchBudget)
+		found := res.Found
+		if !found {
+			// The bounded walk can miss a feasible region the clamp already
+			// located; fall back to the clamped start.
+			res.Best = start
+		}
+		e := &decache.Entry{Start: start, Chosen: res.Best, BestEDP: res.BestEDP,
+			Found: found, Evaluations: res.Evaluations,
+			Probes: append([]decache.Probe(nil), c.probeBuf...)}
+		if len(res.Front) > 0 {
+			e.Front = make([]ou.Size, len(res.Front))
+			for i, p := range res.Front {
+				e.Front[i] = p.Size
+			}
+		}
+		dctx.Store(key, e)
+		return layerOutcome{predicted: predicted, start: start, chosen: res.Best,
+			strategy: optim.Name(), evaluations: res.Evaluations,
+			probes: e.Probes, front: e.Front}
+	}
+
+	// Uncached path: the pre-cache control flow, bit for bit. NF is
+	// monotone in R+C, so checking the smallest grid size decides global
+	// satisfiability (lines 7–8 precondition).
+	if !c.sys.Acc.AnySatisfiable(j, total, grid, age) {
+		smallest := grid.SizeAt(0, 0)
+		return layerOutcome{predicted: predicted, start: smallest,
+			chosen: smallest, strategy: opt.StrategyDegraded, degraded: true}
+	}
+	// Line 6: shrink the prediction into the feasible region if drift has
+	// outrun the policy, then refine with the configured strategy.
+	obj := c.sys.objective(c.wl, j, age)
+	obj.Scratch = c.scratch
+	if wantProbes {
+		c.probeBuf = c.probeBuf[:0]
+		obj.Probe = c.recordProbe
+	}
+	start := search.ClampFeasible(grid, obj, predicted)
+	res := optim.Optimize(grid, obj, start, c.opts.SearchBudget)
+	if !res.Found {
+		// The bounded walk can miss a feasible region the clamp already
+		// located; fall back to the clamped start.
+		res.Best = start
+	}
+	out := layerOutcome{predicted: predicted, start: start, chosen: res.Best,
+		strategy: optim.Name(), evaluations: res.Evaluations}
+	if wantProbes {
+		out.probes = c.probeBuf
+		if len(res.Front) > 0 {
+			out.front = make([]ou.Size, len(res.Front))
+			for i, p := range res.Front {
+				out.front[i] = p.Size
+			}
+		}
+	}
+	return out
 }
 
 // recordRunSpans writes one run's span tree on simulation-time intervals:

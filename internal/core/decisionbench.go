@@ -1,0 +1,21 @@
+package core
+
+import "odin/internal/policy"
+
+// DecisionBench returns a closure executing one per-layer line-6 decision
+// — policy prediction, feasibility clamp, strategy search, decision-cache
+// lookup when opts enable one — exactly as RunInference runs it for layer
+// j at device age `age`, but without the learning side effects (no
+// disagreement buffering, no policy updates). It exists so `odinsim bench`
+// and BenchmarkControllerLayerDecision measure the real controller slice,
+// cached and uncached, rather than a reimplementation that could drift.
+//
+// The returned closure is not safe for concurrent use (it shares the
+// controller's scratch buffers).
+func DecisionBench(sys System, wl *Workload, pol *policy.Policy, opts ControllerOptions, j int, age float64) (func(), error) {
+	ctrl, err := NewController(sys, wl, pol, opts)
+	if err != nil {
+		return nil, err
+	}
+	return func() { _ = ctrl.decideLayer(j, age, false) }, nil
+}

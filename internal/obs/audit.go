@@ -39,6 +39,13 @@ type LayerDecision struct {
 	Evaluations int  // candidate evaluations spent (comparator budget)
 	PolicyWon   bool // Predicted == Chosen (no disagreement recorded)
 
+	// Cached marks a decision served from the controller's decision cache
+	// (internal/decache) instead of a live search. Candidates, Evaluations
+	// and the choice itself are byte-identical either way (the cache
+	// contract); Cached only attributes where the bytes came from, so
+	// artefact renderings must not include it.
+	Cached bool
+
 	Candidates []Candidate
 
 	// Front lists the non-dominated (energy, latency, NF) candidates when

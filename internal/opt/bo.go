@@ -1,8 +1,8 @@
 package opt
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 
 	"odin/internal/ou"
 	"odin/internal/rng"
@@ -30,10 +30,14 @@ import (
 // Algorithm 1).
 //
 // Determinism: every random draw flows through an internal/rng SplitMix64
-// stream whose label is derived from the objective itself (workload shape,
-// layer position, device age), so Optimize is a pure function of its
-// arguments — replays, worker pools and odinlint's detflow analysis all
-// see identical candidate sequences.
+// stream whose label is derived from the objective identity (workload
+// shape, layer position, start and budget), so Optimize is a pure function
+// of its arguments — replays, worker pools and odinlint's detflow analysis
+// all see identical candidate sequences. The label deliberately excludes
+// the device age: EDP is age-free and the feasibility ordering is
+// age-invariant, so an age-free stream makes the whole decision a function
+// of the *feasible set* rather than the raw age — the invariant the
+// decision cache (internal/decache) memoizes on.
 type Bayesian struct{}
 
 // Name returns "bo".
@@ -60,14 +64,80 @@ type boObservation struct {
 	feasible   bool
 }
 
-// boSeed derives the deterministic stream label of one Optimize call from
-// the objective identity: the per-crossbar workload shape, the layer
-// position, and the device age bits. Two decisions with the same inputs
-// share a stream (replay); any input change decorrelates it.
-func boSeed(o search.Objective) *rng.Source {
-	return rng.NewFromString(fmt.Sprintf("opt/bo/%d/%d/%d/%d/%d/%016x",
-		o.Work.Xbars, o.Work.RowsUsed, o.Work.ColsUsed,
-		o.Layer, o.Of, math.Float64bits(o.Time)))
+// boScratch is the strategy-private buffer set stashed in
+// search.Scratch.Priv so repeated decisions reuse every working slice and
+// the stream generator. With a scratch attached, the TPE loop runs
+// allocation-free in steady state (pinned by TestBOAllocBudget).
+type boScratch struct {
+	evaluated    []bool
+	obs, ranked  []boObservation
+	goodR, goodC []float64
+	badR, badC   []float64
+	label        []byte
+	src          rng.Source
+}
+
+// boLabel appends the deterministic stream label of one Optimize call to
+// dst. Two decisions with the same workload shape, layer position, start
+// and budget share a stream; the device age is deliberately absent (see
+// the determinism note on Bayesian).
+func boLabel(dst []byte, o search.Objective, start ou.Size, budget int) []byte {
+	dst = append(dst, "opt/bo/"...)
+	dst = strconv.AppendInt(dst, int64(o.Work.Xbars), 10)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, int64(o.Work.RowsUsed), 10)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, int64(o.Work.ColsUsed), 10)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, int64(o.Layer), 10)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, int64(o.Of), 10)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, int64(start.R), 10)
+	dst = append(dst, 'x')
+	dst = strconv.AppendInt(dst, int64(start.C), 10)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, int64(budget), 10)
+	return dst
+}
+
+// scratchFor returns the reusable buffer set, from o.Scratch when one is
+// attached (creating or replacing the strategy-private arena as needed) or
+// freshly allocated otherwise. Results are identical either way.
+func scratchFor(o search.Objective) *boScratch {
+	if o.Scratch == nil {
+		return new(boScratch)
+	}
+	if bs, ok := o.Scratch.Priv(func() any { return new(boScratch) }).(*boScratch); ok {
+		return bs
+	}
+	bs := new(boScratch)
+	o.Scratch.SetPriv(bs)
+	return bs
+}
+
+// reset sizes the working buffers for one Optimize call, reusing capacity.
+func (bs *boScratch) reset(total, budget, n int) {
+	if cap(bs.evaluated) < total {
+		bs.evaluated = make([]bool, total)
+	}
+	bs.evaluated = bs.evaluated[:total]
+	for i := range bs.evaluated {
+		bs.evaluated[i] = false
+	}
+	if cap(bs.obs) < budget {
+		bs.obs = make([]boObservation, 0, budget)
+		bs.ranked = make([]boObservation, 0, budget)
+	}
+	bs.obs = bs.obs[:0]
+	if cap(bs.goodR) < n {
+		bs.goodR = make([]float64, n)
+		bs.goodC = make([]float64, n)
+		bs.badR = make([]float64, n)
+		bs.badC = make([]float64, n)
+	}
+	bs.goodR, bs.goodC = bs.goodR[:n], bs.goodC[:n]
+	bs.badR, bs.badC = bs.badR[:n], bs.badC[:n]
 }
 
 // Optimize runs the TPE loop for at most budget candidate evaluations.
@@ -80,14 +150,16 @@ func (Bayesian) Optimize(g ou.Grid, o search.Objective, start ou.Size, budget in
 	if budget > total {
 		budget = total
 	}
-	src := boSeed(o)
+	bs := scratchFor(o)
+	bs.reset(total, budget, n)
+	bs.label = boLabel(bs.label[:0], o, start, budget)
+	src := &bs.src
+	src.Reseed(rng.HashBytes(bs.label))
 
 	res := Result{Result: search.Result{BestEDP: math.Inf(1)}}
-	evaluated := make([]bool, total)
-	obs := make([]boObservation, 0, budget)
 	evaluate := func(ri, ci int) {
 		s := g.SizeAt(ri, ci)
-		evaluated[ri*n+ci] = true
+		bs.evaluated[ri*n+ci] = true
 		res.Evaluations++
 		ob := boObservation{rIdx: ri, cIdx: ci, nf: o.NF(s)}
 		if !o.Feasible(s) {
@@ -100,7 +172,7 @@ func (Bayesian) Optimize(g ou.Grid, o search.Objective, start ou.Size, budget in
 				res.Best, res.BestEDP, res.Found = s, ob.edp, true
 			}
 		}
-		obs = append(obs, ob)
+		bs.obs = append(bs.obs, ob)
 	}
 
 	// Warm-up: the clamped start first (incumbent guarantee), then
@@ -113,7 +185,7 @@ func (Bayesian) Optimize(g ou.Grid, o search.Objective, start ou.Size, budget in
 	evaluate(rIdx, cIdx)
 	for res.Evaluations < budget && res.Evaluations < boInit {
 		idx := src.Intn(total)
-		for evaluated[idx] {
+		for bs.evaluated[idx] {
 			idx = (idx + 1) % total
 		}
 		evaluate(idx/n, idx%n)
@@ -122,7 +194,8 @@ func (Bayesian) Optimize(g ou.Grid, o search.Objective, start ou.Size, budget in
 	// TPE loop: split → per-axis densities → draw from good → evaluate the
 	// best-ratio unseen draw.
 	for res.Evaluations < budget {
-		goodR, goodC, badR, badC := boDensities(obs, n)
+		boDensities(bs, n)
+		goodR, goodC, badR, badC := bs.goodR, bs.goodC, bs.badR, bs.badC
 		score := func(idx int) float64 {
 			ri, ci := idx/n, idx%n
 			return (goodR[ri] * goodC[ci]) / (badR[ri] * badC[ci])
@@ -130,7 +203,7 @@ func (Bayesian) Optimize(g ou.Grid, o search.Objective, start ou.Size, budget in
 		pick := -1
 		for d := 0; d < boCandidates; d++ {
 			idx := boSampleLevel(src, goodR)*n + boSampleLevel(src, goodC)
-			if evaluated[idx] || idx == pick {
+			if bs.evaluated[idx] || idx == pick {
 				continue
 			}
 			if pick < 0 {
@@ -148,7 +221,7 @@ func (Bayesian) Optimize(g ou.Grid, o search.Objective, start ou.Size, budget in
 			// Every draw landed on seen cells: fall back to the best-ratio
 			// unseen cell, scanned row-major for a deterministic tie-break.
 			for idx := 0; idx < total; idx++ {
-				if evaluated[idx] {
+				if bs.evaluated[idx] {
 					continue
 				}
 				if pick < 0 || score(idx) > score(pick) {
@@ -165,14 +238,15 @@ func (Bayesian) Optimize(g ou.Grid, o search.Objective, start ou.Size, budget in
 }
 
 // boDensities builds the per-axis good/bad kernel densities of the TPE
-// split. Feasible observations rank by EDP; when nothing feasible has been
-// seen yet the split ranks by non-ideality instead, steering the search
-// toward the feasible (small-OU) region exactly as RB's infeasible-descent
-// move does. Every density is Laplace-smoothed so unseen levels keep
-// non-zero mass (and the ratio stays finite).
-func boDensities(obs []boObservation, n int) (goodR, goodC, badR, badC []float64) {
-	ranked := make([]boObservation, len(obs))
-	copy(ranked, obs)
+// split into the scratch buffers. Feasible observations rank by EDP; when
+// nothing feasible has been seen yet the split ranks by non-ideality
+// instead, steering the search toward the feasible (small-OU) region
+// exactly as RB's infeasible-descent move does. Every density is
+// Laplace-smoothed so unseen levels keep non-zero mass (and the ratio
+// stays finite).
+func boDensities(bs *boScratch, n int) {
+	bs.ranked = append(bs.ranked[:0], bs.obs...)
+	ranked := bs.ranked
 	feasible := 0
 	for _, ob := range ranked {
 		if ob.feasible {
@@ -190,9 +264,8 @@ func boDensities(obs []boObservation, n int) (goodR, goodC, badR, badC []float64
 	if nGood < 1 {
 		nGood = 1
 	}
-	goodR, goodC = boAxisDensity(ranked[:nGood], n)
-	badR, badC = boAxisDensity(ranked[nGood:], n)
-	return goodR, goodC, badR, badC
+	boAxisDensity(ranked[:nGood], n, bs.goodR, bs.goodC)
+	boAxisDensity(ranked[nGood:], n, bs.badR, bs.badC)
 }
 
 // boSortRanked orders observations best-first with a total, deterministic
@@ -230,10 +303,8 @@ func boSortRanked(obs []boObservation) {
 }
 
 // boAxisDensity accumulates the triangular-kernel level densities of one
-// observation set on both axes.
-func boAxisDensity(obs []boObservation, n int) (dR, dC []float64) {
-	dR = make([]float64, n)
-	dC = make([]float64, n)
+// observation set on both axes, writing into the provided buffers.
+func boAxisDensity(obs []boObservation, n int, dR, dC []float64) {
 	for l := 0; l < n; l++ {
 		dR[l], dC[l] = boSmoothing, boSmoothing
 	}
@@ -250,7 +321,6 @@ func boAxisDensity(obs []boObservation, n int) (dR, dC []float64) {
 		deposit(dR, ob.rIdx)
 		deposit(dC, ob.cIdx)
 	}
-	return dR, dC
 }
 
 // boSampleLevel draws one level index from an (unnormalised) density.

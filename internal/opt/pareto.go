@@ -33,21 +33,25 @@ func (Pareto) Name() string { return "pareto" }
 // front in row-major grid order.
 func (Pareto) Optimize(g ou.Grid, o search.Objective, _ ou.Size, _ int) Result {
 	res := Result{Result: search.Result{BestEDP: math.Inf(1)}}
-	feasible := make([]Point, 0, g.Levels()*g.Levels())
-	for _, s := range g.Sizes() {
-		res.Evaluations++
-		if !o.Feasible(s) {
-			probe(o, s, false, math.NaN())
-			continue
+	n := g.Levels()
+	feasible := make([]Point, 0, n*n)
+	for ri := 0; ri < n; ri++ {
+		for ci := 0; ci < n; ci++ {
+			s := g.SizeAt(ri, ci)
+			res.Evaluations++
+			if !o.Feasible(s) {
+				probe(o, s, false, math.NaN())
+				continue
+			}
+			cost := o.Cost.Evaluate(o.Work, s)
+			p := Point{Size: s, Energy: cost.Energy, Latency: cost.Latency,
+				NF: o.NF(s), EDP: cost.EDP()}
+			probe(o, s, true, p.EDP)
+			if p.EDP < res.BestEDP {
+				res.Best, res.BestEDP, res.Found = s, p.EDP, true
+			}
+			feasible = append(feasible, p)
 		}
-		cost := o.Cost.Evaluate(o.Work, s)
-		p := Point{Size: s, Energy: cost.Energy, Latency: cost.Latency,
-			NF: o.NF(s), EDP: cost.EDP()}
-		probe(o, s, true, p.EDP)
-		if p.EDP < res.BestEDP {
-			res.Best, res.BestEDP, res.Found = s, p.EDP, true
-		}
-		feasible = append(feasible, p)
 	}
 	res.Front = front(feasible)
 	return res

@@ -17,6 +17,7 @@ package policy
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"odin/internal/mlp"
 	"odin/internal/ou"
@@ -86,7 +87,27 @@ type Config struct {
 type Policy struct {
 	grid ou.Grid
 	net  *mlp.Network
+
+	// id is a process-unique identity and version counts weight updates.
+	// Together they give memoization layers (internal/decache) a sound
+	// invalidation key: two policies never share an id (so a freed pointer
+	// being reused cannot resurrect stale entries), and every Train or
+	// deserialize bumps version so cached Predict results die with the
+	// weights that produced them. Neither value is ever serialized or
+	// rendered — allocation order may differ across runs.
+	id      uint64
+	version uint64
 }
+
+// policyIDs hands out process-unique policy identities.
+var policyIDs atomic.Uint64
+
+// ID returns the process-unique identity of this policy instance.
+func (p *Policy) ID() uint64 { return p.id }
+
+// Version returns the number of weight updates applied to this policy.
+// Predict is a pure function of (ID, Version, Features).
+func (p *Policy) Version() uint64 { return p.version }
 
 // New creates a policy for the given grid.
 func New(cfg Config) *Policy {
@@ -97,6 +118,7 @@ func New(cfg Config) *Policy {
 	levels := cfg.Grid.Levels()
 	return &Policy{
 		grid: cfg.Grid,
+		id:   policyIDs.Add(1),
 		net: mlp.New(mlp.Config{
 			InputDim: 4,
 			Hidden:   hidden,
@@ -115,7 +137,7 @@ func (p *Policy) NumParams() int { return p.net.NumParams() }
 // Clone returns an independent copy (e.g. to snapshot the offline policy
 // before online adaptation).
 func (p *Policy) Clone() *Policy {
-	return &Policy{grid: p.grid, net: p.net.Clone()}
+	return &Policy{grid: p.grid, net: p.net.Clone(), id: policyIDs.Add(1)}
 }
 
 // Predict returns the policy's OU size decision (R_j × C_j) for Φ.
@@ -177,7 +199,9 @@ func (p *Policy) Train(examples []Example, opts mlp.TrainOptions) (mlp.TrainStat
 		}
 		converted = append(converted, me)
 	}
-	return p.net.Train(converted, opts), nil
+	stats := p.net.Train(converted, opts)
+	p.version++ // weights changed: invalidate memoized predictions
+	return stats, nil
 }
 
 // Agreement returns the fraction of examples where the policy's prediction

@@ -34,6 +34,32 @@ func NewFromString(label string) *Source {
 	return &Source{state: h.Sum64()}
 }
 
+// FNV-1a 64-bit constants, identical to hash/fnv. HashBytes re-implements
+// the digest inline so hot paths can derive labelled seeds without the
+// hash.Hash allocation.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashBytes returns the FNV-1a hash of label, bit-identical to the seed
+// NewFromString derives from the equivalent string. It performs no
+// allocations, so callers can build labels into a reusable byte buffer and
+// reseed a long-lived Source on a hot path.
+func HashBytes(label []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range label {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Reseed resets the stream to the given seed, as if freshly constructed by
+// New(seed). Together with HashBytes it lets hot paths reuse one Source
+// across labelled streams without allocating a new generator per label.
+func (s *Source) Reseed(seed uint64) { s.state = seed }
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -39,7 +39,40 @@ type Objective struct {
 	// only cost when auditing is disabled — see
 	// TestDisabledObsOverheadGuard at the repo root.
 	Probe func(s ou.Size, feasible bool, edp float64)
+
+	// Scratch, when non-nil, lends the search reusable buffers so the
+	// candidate-evaluation hot path runs allocation-free (pinned by
+	// TestSearchAllocFree / the opt alloc tests). Purely observational:
+	// results are bit-identical with or without it. One Scratch must not be
+	// shared by concurrent searches.
+	Scratch *Scratch
 }
+
+// Scratch is a reusable per-searcher arena. The stateless strategies (RB,
+// EX) need no buffers at all; allocating strategies (the TPE sampler)
+// stash a strategy-private buffer set here via Priv so repeated decisions
+// on one controller reuse it.
+type Scratch struct {
+	priv any
+}
+
+// NewScratch returns an empty arena.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Priv returns the strategy-private buffer set, creating it with mk on
+// first use. Callers must type-assert the result and fall back to a fresh
+// allocation on mismatch (a Scratch previously lent to a different
+// strategy), so sharing one Scratch across strategies stays correct —
+// merely less efficient.
+func (sc *Scratch) Priv(mk func() any) any {
+	if sc.priv == nil {
+		sc.priv = mk()
+	}
+	return sc.priv
+}
+
+// SetPriv replaces the strategy-private buffer set (used on type mismatch).
+func (sc *Scratch) SetPriv(v any) { sc.priv = v }
 
 // probe reports one candidate evaluation to the audit hook, if any.
 func (o Objective) probe(s ou.Size, feasible bool, edp float64) {
@@ -96,23 +129,36 @@ type Result struct {
 }
 
 // Exhaustive scans the whole grid and returns the feasible size with the
-// minimum EDP.
+// minimum EDP. It walks the grid by index (row-major, the same order
+// ou.Grid.Sizes lists) rather than materialising the size slice, so the
+// scan is allocation-free.
 func Exhaustive(g ou.Grid, o Objective) Result {
 	res := Result{BestEDP: math.Inf(1)}
-	for _, s := range g.Sizes() {
-		res.Evaluations++
-		if !o.Feasible(s) {
-			o.probe(s, false, math.NaN())
-			continue
-		}
-		edp := o.EDP(s)
-		o.probe(s, true, edp)
-		if edp < res.BestEDP {
-			res.Best, res.BestEDP, res.Found = s, edp, true
+	n := g.Levels()
+	for ri := 0; ri < n; ri++ {
+		for ci := 0; ci < n; ci++ {
+			s := g.SizeAt(ri, ci)
+			res.Evaluations++
+			if !o.Feasible(s) {
+				o.probe(s, false, math.NaN())
+				continue
+			}
+			edp := o.EDP(s)
+			o.probe(s, true, edp)
+			if edp < res.BestEDP {
+				res.Best, res.BestEDP, res.Found = s, edp, true
+			}
 		}
 	}
 	return res
 }
+
+// move is one ±1 step in the level grid; rbMoves is the fixed ±1
+// neighbourhood RB explores each step (an array, so ranging it in the hot
+// loop allocates nothing).
+type move struct{ dr, dc int }
+
+var rbMoves = [4]move{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
 
 // ResourceBounded runs the paper's K-step local search from the policy's
 // predicted size. Each step evaluates the four ±1 level neighbours of the
@@ -153,12 +199,11 @@ func ResourceBounded(g ou.Grid, o Objective, start ou.Size, k int) Result {
 	}
 	n := g.Levels()
 	for step := 0; step < k; step++ {
-		type move struct{ dr, dc int }
 		bestMove := move{}
 		bestEDP := math.Inf(1)
 		bestNF := math.Inf(1)
 		improved := false
-		for _, mv := range []move{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+		for _, mv := range rbMoves {
 			ri, ci := rIdx+mv.dr, cIdx+mv.dc
 			if ri < 0 || ri >= n || ci < 0 || ci >= n {
 				continue

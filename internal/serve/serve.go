@@ -42,6 +42,7 @@ import (
 
 	"odin/internal/clock"
 	"odin/internal/core"
+	"odin/internal/decache"
 	"odin/internal/dnn"
 	"odin/internal/obs"
 	"odin/internal/ou"
@@ -272,7 +273,11 @@ type Server struct {
 }
 
 // NewServer builds the fleet: each chip prepares its own workload instance
-// and a fresh policy. Chips never share mutable state.
+// and a fresh policy. Chips share no mutable learning state; the one
+// deliberately shared structure is the decision cache (internal/decache),
+// whose entries are pure functions of their keys, so cross-chip reuse is
+// safe and chips running the same model at the same age bucket replay each
+// other's line-6 searches.
 func NewServer(cfg Config) (*Server, error) {
 	if len(cfg.Chips) == 0 {
 		return nil, fmt.Errorf("serve: config needs at least one chip")
@@ -286,6 +291,16 @@ func NewServer(cfg Config) (*Server, error) {
 		sys = *cfg.System
 	} else {
 		sys = core.DefaultSystem()
+	}
+
+	// One decision cache for the whole fleet (unless the caller brought
+	// their own or opted out): same-platform chips hit each other's
+	// memoized decisions, and the cache's counters land on the fleet's
+	// metrics registry. Gated on the process-wide default so `odinsim
+	// -cache=off` style comparisons reach the serving layer too.
+	if cfg.Controller.Cache == nil && !cfg.Controller.DisableDecisionCache &&
+		core.DecisionCacheDefault() {
+		cfg.Controller.Cache = decache.NewWith(decache.Options{Registry: cfg.Registry})
 	}
 
 	s := &Server{
@@ -471,3 +486,7 @@ func (s *Server) Stats() []ChipStat {
 
 // Registry returns the metrics registry serving this fleet.
 func (s *Server) Registry() *telemetry.Registry { return s.cfg.Registry }
+
+// DecisionCache returns the fleet-shared decision cache (nil when caching
+// is disabled).
+func (s *Server) DecisionCache() *decache.Cache { return s.cfg.Controller.Cache }
