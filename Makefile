@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint lintfix-audit test race bench benchsmoke check loadsmoke parsmoke obssmoke optsmoke cachesmoke ci
+.PHONY: all build fmt vet lint lintfix-audit test race bench benchsmoke check loadsmoke fleetsmoke parsmoke obssmoke optsmoke cachesmoke ci
 
 all: ci
 
@@ -85,6 +85,20 @@ loadsmoke:
 	$(GO) test -race ./internal/serve/...
 	$(GO) run ./cmd/odinserve replay -models VGG11,VGG11 -requests 200 -verify -max-shed 0
 
+# Fleet-scale gate: race-check the fleet lifecycle/routing/tenant suites
+# (hot add/remove determinism at fleet sizes up to 1024 across worker
+# counts — TestPropFleetChurnDeterministic is the 1-vs-8-worker
+# byte-identity property on a churned 1024-chip trace), then replay a
+# 1024-chip trace from the CLI at 1 and 8 workers and require identical
+# decision-log checksums.
+fleetsmoke:
+	$(GO) test -race -run 'TestPropFleet|TestPropExactRouter|TestRemoveChip|TestAddChip|TestDriftRouter|TestTenant' ./internal/serve
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/odinserve replay -models VGG11 -fleet 1024 -workers 1 -requests 2048 -router drift | grep '^checksum=' > $$tmp/w1.txt && \
+	$(GO) run ./cmd/odinserve replay -models VGG11 -fleet 1024 -workers 8 -requests 2048 -router drift | grep '^checksum=' > $$tmp/w8.txt && \
+	cmp $$tmp/w1.txt $$tmp/w8.txt && \
+	rm -rf $$tmp
+
 # Observability gate: race-check the span/audit/telemetry layers and their
 # wiring (byte-identical replay traces), arm the disabled-overhead guard
 # (see obs_guard_test.go; the nil fast path must stay a pointer test), and
@@ -139,4 +153,4 @@ cachesmoke:
 	cmp $$tmp/on1.txt $$tmp/on4.txt && \
 	rm -rf $$tmp
 
-ci: build fmt vet lint test race benchsmoke check loadsmoke parsmoke obssmoke optsmoke cachesmoke
+ci: build fmt vet lint test race benchsmoke check loadsmoke fleetsmoke parsmoke obssmoke optsmoke cachesmoke

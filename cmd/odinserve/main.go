@@ -22,9 +22,18 @@
 //
 //	POST /infer              JSON body {"model":NAME,"count":N} or ?model=NAME
 //	GET  /metrics            Prometheus text exposition
-//	GET  /healthz            liveness probe
+//	GET  /healthz            liveness probe (503 once draining)
 //	GET  /debug/trace        Chrome trace-event span ring dump (-trace N)
 //	GET  /debug/pprof/       net/http/pprof suite (only with -debug)
+//	/admin/...               fleet control plane (only with -admin):
+//	                         GET /admin/fleet, POST /admin/chips,
+//	                         DELETE /admin/chips/{id}
+//
+// Both subcommands share the fleet flags: -models picks the hosted zoo
+// models, -fleet N cycles that list to build an N-chip fleet, -router
+// selects the arrival policy (rr|least|drift), -drift-margin tunes drift
+// steering, and -tenants configures admission classes
+// (name=quota[:priority], comma-separated).
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -81,6 +91,10 @@ func usage() {
 // fleetFlags are the chip/queue knobs shared by both subcommands.
 type fleetFlags struct {
 	models  *string
+	fleet   *int
+	router  *string
+	margin  *float64
+	tenants *string
 	queue   *int
 	batch   *int
 	workers *int
@@ -89,7 +103,15 @@ type fleetFlags struct {
 
 func addFleetFlags(fs *flag.FlagSet) fleetFlags {
 	return fleetFlags{
-		models:  fs.String("models", "VGG11,VGG11", "comma-separated zoo models, one chip each"),
+		models: fs.String("models", "VGG11,VGG11", "comma-separated zoo models, one chip each"),
+		fleet: fs.Int("fleet", 0,
+			"fleet size: cycle -models until this many chips exist (0 = one chip per -models entry)"),
+		router: fs.String("router", "", "arrival router: "+strings.Join(serve.RouterNames(), "|")+
+			" (default rr)"),
+		margin: fs.Float64("drift-margin", 0,
+			"drift router steering threshold as a fraction of the forced-reprogram deadline (0 = default)"),
+		tenants: fs.String("tenants", "",
+			"admission classes, comma-separated name=quota[:priority] (quota 0 = unlimited)"),
 		queue:   fs.Int("queue", 16, "per-chip queue depth (admission bound)"),
 		batch:   fs.Int("batch", 8, "max requests coalesced per decision pass"),
 		workers: fs.Int("workers", 0, "worker-pool size (0 = one per chip)"),
@@ -97,23 +119,70 @@ func addFleetFlags(fs *flag.FlagSet) fleetFlags {
 	}
 }
 
+// parseTenants decodes the -tenants grammar: name=quota or name=quota:prio,
+// comma-separated. The empty name configures the default class.
+func parseTenants(spec string) ([]serve.TenantConfig, error) {
+	var out []serve.TenantConfig
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(ent, "=")
+		if !ok {
+			return nil, fmt.Errorf("-tenants entry %q: want name=quota[:priority]", ent)
+		}
+		tc := serve.TenantConfig{Name: strings.TrimSpace(name)}
+		quota, prio, hasPrio := strings.Cut(rest, ":")
+		q, err := strconv.Atoi(quota)
+		if err != nil {
+			return nil, fmt.Errorf("-tenants entry %q: quota %q is not a number", ent, quota)
+		}
+		tc.Quota = q
+		if hasPrio {
+			p, err := strconv.Atoi(prio)
+			if err != nil {
+				return nil, fmt.Errorf("-tenants entry %q: priority %q is not a number", ent, prio)
+			}
+			tc.Priority = p
+		}
+		out = append(out, tc)
+	}
+	return out, nil
+}
+
 func (f fleetFlags) config(clk clock.Clock) (serve.Config, error) {
 	cfg := serve.Config{
+		Router:          *f.router,
+		DriftMargin:     *f.margin,
 		QueueDepth:      *f.queue,
 		MaxBatch:        *f.batch,
 		Workers:         *f.workers,
 		ReprogramBudget: *f.budget,
 		Clock:           clk,
 	}
+	var names []string
 	for _, name := range strings.Split(*f.models, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
 		}
-		cfg.Chips = append(cfg.Chips, serve.ChipConfig{Model: name})
 	}
-	if len(cfg.Chips) == 0 {
+	if len(names) == 0 {
 		return cfg, fmt.Errorf("-models selects no chips")
+	}
+	n := len(names)
+	if *f.fleet > 0 {
+		n = *f.fleet
+	}
+	for i := 0; i < n; i++ {
+		cfg.Chips = append(cfg.Chips, serve.ChipConfig{Model: names[i%len(names)]})
+	}
+	if *f.tenants != "" {
+		tenants, err := parseTenants(*f.tenants)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Tenants = tenants
 	}
 	return cfg, nil
 }
@@ -180,7 +249,12 @@ func runReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trace: %d requests, rate %.4g req/s, seed %d\n", len(tr), *rate, *seed)
+	router := cfg.Router
+	if router == "" {
+		router = "rr"
+	}
+	fmt.Printf("trace: %d requests, rate %.4g req/s, seed %d, %d chips, router=%s\n",
+		len(tr), *rate, *seed, len(cfg.Chips), router)
 	fmt.Printf("admitted=%d shed=%d errors=%d reprogram=%d\n",
 		res.Admitted, res.Shed, res.Errors, res.Reprogram)
 	fmt.Printf("energy=%.6g J  latency=%.6g s  wait=%.6g s\n", res.Energy, res.Latency, res.Wait)
@@ -242,6 +316,8 @@ func runServe(args []string) error {
 	fs := flag.NewFlagSet("odinserve serve", flag.ContinueOnError)
 	fleet := addFleetFlags(fs)
 	addr := fs.String("addr", "localhost:8080", "HTTP listen address")
+	admin := fs.Bool("admin", false,
+		"expose the fleet control plane under /admin/ (hot add/remove; off by default)")
 	debug := fs.Bool("debug", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	traceCap := fs.Int("trace", 4096, "span ring capacity behind GET /debug/trace (0 disables tracing)")
 	verbose := fs.Bool("v", false, "log serve events (chip degradation, drain) to stderr")
@@ -269,11 +345,12 @@ func runServe(args []string) error {
 	}
 	s.Start()
 
-	handler := serve.NewHandlerOpts(s, serve.HandlerOptions{Tracer: spans, Debug: *debug})
+	handler := serve.NewHandlerOpts(s, serve.HandlerOptions{Tracer: spans, Debug: *debug, Admin: *admin})
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("odinserve: listening on %s (%d chips)\n", *addr, len(cfg.Chips))
+	fmt.Printf("odinserve: listening on %s (%d chips, router=%s)\n",
+		*addr, len(cfg.Chips), s.RouterName())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -245,8 +245,14 @@ func runList(stdout io.Writer, opts cliOptions) error {
 // sequential (workers=1) engine vs the parallel pool, per experiment and
 // in aggregate. Milliseconds, like the serve bench trajectory.
 type benchReport struct {
-	Bench        string  `json:"bench"`
-	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Bench      string `json:"bench"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Caveat is set when the host cannot exercise parallelism (one
+	// schedulable CPU): the sequential/parallel comparison degenerates and
+	// the speedup figure is meaningless. Readers of committed artefacts
+	// must check it before quoting Speedup.
+	Caveat       string  `json:"caveat,omitempty"`
 	Workers      int     `json:"workers"`
 	SequentialMS float64 `json:"sequential_ms"`
 	ParallelMS   float64 `json:"parallel_ms"`
@@ -314,10 +320,16 @@ func runBench(stdout, stderr io.Writer, opts cliOptions, ids []string, clk clock
 	rep := benchReport{
 		Bench:           "odinsim_all",
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
 		Workers:         workers,
 		SequentialMS:    seq.WallSeconds * 1e3,
 		ParallelMS:      parRep.WallSeconds * 1e3,
 		DecisionNsPerOp: decNs,
+	}
+	if rep.GOMAXPROCS <= 1 || rep.NumCPU <= 1 {
+		rep.Caveat = fmt.Sprintf(
+			"single-core host (GOMAXPROCS=%d, NumCPU=%d): the parallel pass cannot overlap work, so speedup is meaningless here",
+			rep.GOMAXPROCS, rep.NumCPU)
 	}
 	if parRep.WallSeconds > 0 {
 		rep.Speedup = seq.WallSeconds / parRep.WallSeconds
@@ -345,6 +357,9 @@ func runBench(stdout, stderr io.Writer, opts cliOptions, ids []string, clk clock
 		rep.DecisionNsPerOp.RB, rep.DecisionNsPerOp.EX, rep.DecisionNsPerOp.BO,
 		rep.DecisionNsPerOp.RBCached, rep.DecisionNsPerOp.EXCached, rep.DecisionNsPerOp.BOCached,
 		opts.out)
+	if rep.Caveat != "" {
+		fmt.Fprintf(stdout, "odinsim bench: WARNING: %s\n", rep.Caveat)
+	}
 	if reg != nil {
 		if err := reg.WritePrometheus(stderr); err != nil {
 			return err

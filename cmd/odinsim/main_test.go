@@ -208,6 +208,12 @@ func TestBenchWritesReport(t *testing.T) {
 	if rep.Bench != "odinsim_all" || rep.Workers != 2 || len(rep.Experiments) != 2 {
 		t.Fatalf("bench report schema off: %+v", rep)
 	}
+	if rep.GOMAXPROCS < 1 || rep.NumCPU < 1 {
+		t.Fatalf("bench report missing host parallelism stamp: %+v", rep)
+	}
+	if (rep.GOMAXPROCS <= 1 || rep.NumCPU <= 1) != (rep.Caveat != "") {
+		t.Fatalf("single-core caveat inconsistent with host stamp: %+v", rep)
+	}
 	if rep.Experiments[0].ID != "tab1" || rep.Experiments[1].ID != "tab2" {
 		t.Fatalf("bench report experiment order off: %+v", rep.Experiments)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"odin/internal/decache"
@@ -42,6 +43,14 @@ type ControllerOptions struct {
 	LearningRate float64
 	// TrainSeed makes online updates deterministic.
 	TrainSeed uint64
+
+	// ProgrammedAt back-dates the device's initial programming instant
+	// (simulation seconds; typically negative — "this chip was last
+	// written |ProgrammedAt| seconds before the trace starts"). Fleets use
+	// it to stagger drift phases across chips the way real deployments
+	// are staggered by their programming history; 0 (the default) keeps
+	// the fresh-at-zero device of the paper's single-chip experiments.
+	ProgrammedAt float64
 
 	// ConfidenceEX is an extension beyond the paper's Algorithm 1: when the
 	// policy's decision confidence (product of its heads' max softmax
@@ -192,6 +201,10 @@ type Controller struct {
 	updates      int
 	lastSizes    []ou.Size
 
+	// forcedDeadline caches ForcedReprogramAge (0 = not yet computed; the
+	// real value is >= T0 > 0).
+	forcedDeadline float64
+
 	// freshLatency caches the fresh-device (t₀) constrained-optimal
 	// inference latency, the proactive-reprogram reference. Computed lazily.
 	freshLatency float64
@@ -224,13 +237,14 @@ func NewController(sys System, wl *Workload, pol *policy.Policy, opts Controller
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	c := &Controller{
-		sys:     sys,
-		wl:      wl,
-		pol:     pol,
-		buf:     policy.NewBuffer(resolved.BufferSize),
-		opts:    resolved,
-		optim:   optim,
-		scratch: search.NewScratch(),
+		sys:          sys,
+		wl:           wl,
+		pol:          pol,
+		buf:          policy.NewBuffer(resolved.BufferSize),
+		opts:         resolved,
+		optim:        optim,
+		scratch:      search.NewScratch(),
+		programmedAt: resolved.ProgrammedAt,
 	}
 	c.recordProbe = func(s ou.Size, feasible bool, edp float64) {
 		c.probeBuf = append(c.probeBuf, decache.Probe{Size: s, Feasible: feasible, EDP: edp})
@@ -273,6 +287,52 @@ func (c *Controller) Age(t float64) float64 {
 		age = c.sys.Device.T0
 	}
 	return age
+}
+
+// ForcedReprogramAge returns the device age at which Algorithm 1's lines
+// 7-8 force a reprogram: the earliest age at which some layer's η
+// constraint cannot be met by any OU size. NF is monotone in R+C, so the
+// smallest grid size decides satisfiability per layer, and the fleet
+// deadline is the minimum over layers. +Inf when no layer ever violates
+// (ν = 0). The value depends only on the platform and workload shape, so
+// it is computed once and cached.
+func (c *Controller) ForcedReprogramAge() float64 {
+	if c.forcedDeadline == 0 {
+		smallest := c.sys.Grid().SizeAt(0, 0)
+		total := c.wl.Layers()
+		deadline := math.Inf(1)
+		for j := 0; j < total; j++ {
+			if d := c.sys.Acc.ReprogramDeadline(j, total, smallest); d < deadline {
+				deadline = d
+			}
+		}
+		c.forcedDeadline = deadline
+	}
+	return c.forcedDeadline
+}
+
+// Reprogram performs a maintenance write pass at simulation time t without
+// running an inference: the device is rewritten, drift age resets, and the
+// full reprogram cost is returned so the caller can book the energy and
+// occupy the chip for the write latency. The serving layer uses this to
+// reprogram *off* the latency path — on an idle chip the router has
+// steered arrivals away from — instead of waiting for lines 7-8 to force
+// the stall onto a live batch. Calls must not overlap RunInference.
+func (c *Controller) Reprogram(t float64) (energy, latency float64) {
+	if !c.running.CompareAndSwap(false, true) {
+		panic("core: concurrent Reprogram on one Controller; a chip must be driven by one goroutine at a time")
+	}
+	defer c.running.Store(false)
+	energy, latency = c.sys.reprogramCost(c.wl)
+	c.programmedAt = t
+	c.reprograms++
+	if c.opts.Tracer.Enabled() {
+		c.opts.Tracer.At("reprogram", c.opts.TraceTrack, t, t+latency, nil,
+			obs.Int("passes", 1),
+			obs.Float("energy", energy),
+			obs.String("cause", "maintenance"))
+	}
+	return energy, latency
 }
 
 // RunInference executes Algorithm 1's per-run body at simulation time t.

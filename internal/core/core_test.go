@@ -528,3 +528,111 @@ func TestConfidenceEXOption(t *testing.T) {
 		t.Fatalf("zero threshold still routed to EX: %d evals", rep2.SearchEvaluations)
 	}
 }
+
+// TestForcedReprogramAgeMatchesForcedTrigger pins the published deadline
+// against the behavior it predicts: runs at ages below ForcedReprogramAge
+// never force a reprogram, runs past it always do, and the value equals
+// the minimum over layers of the accuracy model's deadline at the smallest
+// grid size.
+func TestForcedReprogramAgeMatchesForcedTrigger(t *testing.T) {
+	t.Parallel()
+	sys := DefaultSystem()
+	wl, _ := sys.Prepare(dnn.NewVGG11())
+	opts := DefaultControllerOptions()
+	opts.DisableDecisionCache = true // age bucketing would blur the boundary
+	ctrl, err := NewController(sys, wl, freshPolicy(sys), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := ctrl.ForcedReprogramAge()
+	if math.IsInf(deadline, 1) || deadline <= sys.Device.T0 {
+		t.Fatalf("deadline %g, want finite and past T0 %g", deadline, sys.Device.T0)
+	}
+	smallest := sys.Grid().SizeAt(0, 0)
+	want := math.Inf(1)
+	for j := 0; j < wl.Layers(); j++ {
+		if d := sys.Acc.ReprogramDeadline(j, wl.Layers(), smallest); d < want {
+			want = d
+		}
+	}
+	if deadline != want {
+		t.Fatalf("ForcedReprogramAge %g, want min-layer smallest-size deadline %g", deadline, want)
+	}
+
+	if rep := ctrl.RunInference(0.5*deadline - sys.Device.T0); rep.Reprogrammed {
+		t.Fatal("run at half the deadline forced a reprogram")
+	}
+	fresh, err := NewController(sys, wl, freshPolicy(sys), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := fresh.RunInference(2*deadline - sys.Device.T0); !rep.Reprogrammed {
+		t.Fatal("run past the deadline did not force a reprogram")
+	}
+}
+
+// TestControllerMaintenanceReprogram pins the off-path write pass: it
+// books the same cost as a forced pass, resets drift age, counts in
+// Reprograms, and leaves the device fresh enough that the next run does
+// not reprogram again.
+func TestControllerMaintenanceReprogram(t *testing.T) {
+	t.Parallel()
+	sys := DefaultSystem()
+	wl, _ := sys.Prepare(dnn.NewVGG11())
+	ctrl, err := NewController(sys, wl, freshPolicy(sys), DefaultControllerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const at = 1e9
+	energy, latency := ctrl.Reprogram(at)
+	if energy <= 0 || latency <= 0 {
+		t.Fatalf("maintenance pass cost E=%g L=%g, want positive", energy, latency)
+	}
+	if got := ctrl.Reprograms(); got != 1 {
+		t.Fatalf("Reprograms = %d, want 1", got)
+	}
+	if got, want := ctrl.Age(at), sys.Device.T0; got != want {
+		t.Fatalf("age right after maintenance = %g, want fresh T0 %g", got, want)
+	}
+	if rep := ctrl.RunInference(at + 1); rep.Reprogrammed {
+		t.Fatal("run right after maintenance forced another reprogram")
+	}
+
+	// Same write pass as the forced (lines 7-8) path, bit for bit.
+	forced, err := NewController(sys, wl, freshPolicy(sys), DefaultControllerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := forced.RunInference(1e12)
+	if !rep.Reprogrammed {
+		t.Fatal("no forced reprogram at extreme age")
+	}
+	if rep.ReprogramEnergy != energy || rep.ReprogramLatency != latency {
+		t.Fatalf("maintenance cost (%g, %g) differs from forced cost (%g, %g)",
+			energy, latency, rep.ReprogramEnergy, rep.ReprogramLatency)
+	}
+}
+
+// TestControllerProgrammedAtOption pins the back-dating knob fleets use to
+// stagger drift phases.
+func TestControllerProgrammedAtOption(t *testing.T) {
+	t.Parallel()
+	sys := DefaultSystem()
+	wl, _ := sys.Prepare(dnn.NewVGG11())
+	opts := DefaultControllerOptions()
+	opts.ProgrammedAt = -10
+	ctrl, err := NewController(sys, wl, freshPolicy(sys), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ctrl.Age(0), 10+sys.Device.T0; got != want {
+		t.Fatalf("back-dated age at t=0 is %g, want %g", got, want)
+	}
+	def, err := NewController(sys, wl, freshPolicy(sys), DefaultControllerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := def.Age(0), sys.Device.T0; got != want {
+		t.Fatalf("default age at t=0 is %g, want fresh T0 %g", got, want)
+	}
+}

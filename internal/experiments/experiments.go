@@ -54,6 +54,7 @@ func All() []Experiment {
 		{"indexes", "Sec. II motivation: index-table storage of offline OU compression vs Odin", runIndexes, func() (any, error) { return Indexes(core.DefaultSystem(), nil) }},
 		{"noise", "Device-level read-noise sensitivity (thermal noise axis)", runNoise, func() (any, error) { return Noise(core.DefaultSystem(), nil) }},
 		{"opt-compare", "Extension: line-6 optimizer head-to-head (rb/ex/bo/pareto)", runOptCompare, func() (any, error) { return OptCompare(core.DefaultSystem()) }},
+		{"fleet", "Extension: fleet-scale serving — drift-aware routing vs round-robin (1024 chips)", runFleet, func() (any, error) { return Fleet(FleetOptions{}) }},
 	}
 }
 

@@ -21,8 +21,8 @@ func TestAllUniqueIDsAndRunnable(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 26 {
-		t.Fatalf("expected 26 experiments, got %d", len(seen))
+	if len(seen) != 27 {
+		t.Fatalf("expected 27 experiments, got %d", len(seen))
 	}
 }
 

@@ -12,12 +12,15 @@ import (
 // of the paper's tables and figures: the two static platform tables, one
 // layer-wise placement figure (fig3), the headline energy/latency
 // comparison (fig6, the full horizon driver), the §V-E overhead
-// analysis, and the line-6 optimizer head-to-head (opt-compare, which
+// analysis, the line-6 optimizer head-to-head (opt-compare, which
 // freezes all four registered strategies including the TPE sampler's
-// draws). Every numeric path in the repository — mapping, cost models,
-// drift, search, policy bootstrap, horizon amortisation — feeds at least
-// one of these byte streams, so any unintended change to the physics or
-// the controller shows up as a golden diff. Accept intended changes with:
+// draws), and the fleet-scale routing comparison (fleet, which freezes
+// the serve layer's routing, admission, drift steering, and churned-replay
+// checksums at 1024 chips). Every numeric path in the repository —
+// mapping, cost models, drift, search, policy bootstrap, horizon
+// amortisation, serving — feeds at least one of these byte streams, so
+// any unintended change to the physics or the controller shows up as a
+// golden diff. Accept intended changes with:
 //
 //	go test ./internal/experiments -run TestGoldenArtifacts -update
 //
@@ -26,7 +29,7 @@ import (
 // matters.
 func TestGoldenArtifacts(t *testing.T) {
 	t.Parallel()
-	for _, id := range []string{"tab1", "tab2", "fig3", "fig6", "overhead", "opt-compare"} {
+	for _, id := range []string{"tab1", "tab2", "fig3", "fig6", "overhead", "opt-compare", "fleet"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -1,21 +1,22 @@
 package serve
 
 import (
+	"fmt"
 	"math"
 
 	"odin/internal/obs"
 )
 
 // dispatch is the single goroutine that owns all routing, admission,
-// batching, and completion bookkeeping. Serialising these decisions is what
-// makes replay deterministic; the heavy work (the controller's decision
-// pass) still runs concurrently on the worker pool.
+// batching, fleet-lifecycle, and completion bookkeeping. Serialising these
+// decisions is what makes replay deterministic; the heavy work (the
+// controller's decision pass) still runs concurrently on the worker pool.
 func (s *Server) dispatch() {
 	defer s.dispatcher.Done()
 	for {
 		select {
-		case req := <-s.events:
-			s.process(req)
+		case ev := <-s.events:
+			s.handle(ev)
 		case c := <-s.wake:
 			// Live mode only (workers never signal otherwise): a batch
 			// finished, so retire it and keep the chip busy with whatever is
@@ -29,8 +30,8 @@ func (s *Server) dispatch() {
 			// remaining admitted traffic is all buffered in events.
 			for {
 				select {
-				case req := <-s.events:
-					s.process(req)
+				case ev := <-s.events:
+					s.handle(ev)
 					continue
 				default:
 				}
@@ -41,6 +42,124 @@ func (s *Server) dispatch() {
 			return
 		}
 	}
+}
+
+// handle demultiplexes one event-stream entry.
+func (s *Server) handle(ev event) {
+	if ev.op != nil {
+		s.handleOp(ev.op)
+		return
+	}
+	s.process(ev.req)
+}
+
+// handleOp executes one fleet operation on the dispatcher goroutine, where
+// all chip state is owned.
+func (s *Server) handleOp(op *fleetOp) {
+	switch {
+	case op.add != nil:
+		id := len(s.chips)
+		c, err := s.newChip(id, *op.add)
+		if err != nil {
+			op.reply <- fleetOpResult{id: -1, err: err}
+			return
+		}
+		s.chips = append(s.chips, c)
+		s.byModel[c.model] = append(s.byModel[c.model], c)
+		s.modelsMu.Lock()
+		s.models[c.model]++
+		s.modelsMu.Unlock()
+		s.met.chipsAdded.Inc()
+		s.met.fleetChips.Set(float64(s.liveChips()))
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Info("chip added", "chip", c.id, "model", c.model)
+		}
+		op.reply <- fleetOpResult{id: id}
+
+	case op.info:
+		op.reply <- fleetOpResult{id: -1, info: s.fleetInfo()}
+
+	default:
+		op.reply <- fleetOpResult{id: -1, err: s.removeChip(op.remove)}
+	}
+}
+
+// liveChips counts the non-removed fleet.
+func (s *Server) liveChips() int {
+	n := 0
+	for _, c := range s.chips {
+		if !c.removed {
+			n++
+		}
+	}
+	return n
+}
+
+// removeChip drains and retires one chip. The synchronous advance to +Inf
+// executes every admitted request (queued and in flight) at its natural
+// virtual time, so responses are delivered exactly once and the chip's
+// accumulators close out deterministically; only then does the chip leave
+// the routing table.
+func (s *Server) removeChip(id int) error {
+	if id < 0 || id >= len(s.chips) {
+		return fmt.Errorf("serve: no chip %d", id)
+	}
+	c := s.chips[id]
+	if c.removed {
+		return fmt.Errorf("serve: chip %d already removed", id)
+	}
+	s.advance(c, math.Inf(1), true)
+	c.removed = true
+	hosts := s.byModel[c.model]
+	for i, h := range hosts {
+		if h == c {
+			s.byModel[c.model] = append(hosts[:i], hosts[i+1:]...)
+			break
+		}
+	}
+	if len(s.byModel[c.model]) == 0 {
+		delete(s.byModel, c.model)
+	}
+	s.modelsMu.Lock()
+	if s.models[c.model]--; s.models[c.model] == 0 {
+		delete(s.models, c.model)
+	}
+	s.modelsMu.Unlock()
+	s.met.chipsRemoved.Inc()
+	s.met.fleetChips.Set(float64(s.liveChips()))
+	s.met.chipDepth.With(c.label).Set(0)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("chip removed", "chip", c.id, "model", c.model,
+			"served", c.served)
+	}
+	return nil
+}
+
+// fleetInfo snapshots every chip at the dispatcher's current virtual time.
+// Observing a still-running batch result first (blocking) establishes the
+// happens-before edge that makes the controller reads race-free.
+func (s *Server) fleetInfo() []ChipInfo {
+	t := s.lastT
+	out := make([]ChipInfo, len(s.chips))
+	for i, c := range s.chips {
+		if b := c.inflight; b != nil && !b.done {
+			s.finishBatch(<-c.results)
+		}
+		out[i] = ChipInfo{
+			ID:          c.id,
+			Model:       c.model,
+			Removed:     c.removed,
+			Queue:       len(c.pending),
+			Busy:        c.inflight != nil,
+			Served:      c.served,
+			Batches:     c.batches,
+			Reprograms:  c.ctrl.Reprograms(),
+			Age:         c.ctrl.Age(t),
+			DeadlineAge: c.ctrl.ForcedReprogramAge(),
+			Degraded:    c.degraded,
+		}
+	}
+	return out
 }
 
 // onWake handles a Live-mode completion signal. Advancing to +Inf retires
@@ -67,6 +186,10 @@ func (s *Server) process(req *Request) {
 	}
 	s.lastT = req.Arrival
 	s.met.requests.Inc()
+	if s.tenantsOn {
+		req.ten = s.tenant(req.Tenant)
+		s.met.tenantRequests.With(req.ten.label).Inc()
+	}
 
 	hosts := s.byModel[req.Model]
 	if len(hosts) == 0 {
@@ -74,13 +197,64 @@ func (s *Server) process(req *Request) {
 		req.respond(Response{ID: req.ID, Chip: -1, Err: "odinserve: unknown model " + req.Model})
 		return
 	}
-	// Round-robin over the chips hosting this model, advanced per arrival —
-	// a deterministic function of the arrival sequence.
-	cur := s.rr[req.Model]
-	s.rr[req.Model] = cur + 1
-	c := hosts[cur%len(hosts)]
-
 	t := req.Arrival
+
+	// Tenant quotas gate on *outstanding* counts, which are only exact once
+	// every chip has retired the batches whose virtual finish passed t —
+	// without the fleet-wide advance, the counts would depend on how
+	// eagerly worker results were observed and replay would diverge across
+	// worker counts.
+	if s.quotaOn {
+		s.advanceAll(t)
+		if ten := req.ten; ten.quota > 0 && ten.outstanding >= ten.quota {
+			s.met.shed.Inc()
+			s.met.quotaShed.Inc()
+			s.met.tenantShed.With(ten.label).Inc()
+			if tr := s.cfg.Tracer; tr.Enabled() {
+				tr.At("quota-shed", hosts[0].id, t, t, nil,
+					obs.Int64("request", int64(req.ID)),
+					obs.String("tenant", ten.label))
+			}
+			req.respond(Response{ID: req.ID, Chip: -1, Shed: true})
+			return
+		}
+	}
+
+	// Routers that score occupancy or drift age need exact virtual-time
+	// state for every candidate (see the package determinism argument);
+	// the quota path already advanced the whole fleet.
+	exact := s.router.Exact()
+	if exact && !s.quotaOn {
+		for _, c := range hosts {
+			s.advance(c, t, true)
+		}
+	}
+	if exact {
+		// Off-path maintenance: idle near-deadline chips take their write
+		// pass now, while Pick steers arrivals elsewhere. Exact state only —
+		// the decision must be a pure function of virtual time, and reading
+		// controller drift state requires no worker mid-batch.
+		s.maintainHosts(hosts, t)
+	}
+	views := s.viewBuf[:0]
+	for _, c := range hosts {
+		views = append(views, s.viewOf(c, t, exact))
+	}
+	s.viewBuf = views[:0] // keep the (possibly grown) backing array
+	pick := s.router.Pick(req.Model, t, views)
+	if pick < 0 || pick >= len(hosts) {
+		panic(fmt.Sprintf("serve: router %s picked out of range", s.router.Name()))
+	}
+	c := hosts[pick]
+	if na, ok := s.router.(nearAware); ok && !na.Near(views[pick]) {
+		for i := range views {
+			if na.Near(views[i]) {
+				s.met.steered.Inc()
+				break
+			}
+		}
+	}
+
 	// Observe any completions that are already available; this keeps queue
 	// occupancy tight without stalling the accept path.
 	s.advance(c, t, false)
@@ -89,8 +263,18 @@ func (s *Server) process(req *Request) {
 		// freed it. Admission must be exact: synchronously advance to t.
 		s.advance(c, t, true)
 	}
+	if len(c.pending) >= s.cfg.QueueDepth && s.tenantsOn {
+		// Priority preemption: a higher-priority arrival evicts the newest
+		// queued request of the lowest class below it. Queue state is exact
+		// here (the blocking advance above), so the victim choice is a pure
+		// function of virtual time.
+		s.evictFor(c, req, t)
+	}
 	if len(c.pending) >= s.cfg.QueueDepth {
 		s.met.shed.Inc()
+		if s.tenantsOn {
+			s.met.tenantShed.With(req.ten.label).Inc()
+		}
 		// Zero-width marker on the chip's track. Shed decisions are exact
 		// under replay (the admission path synchronously advanced to t), so
 		// the marker's content is deterministic.
@@ -103,12 +287,125 @@ func (s *Server) process(req *Request) {
 		return
 	}
 	s.met.admitted.Inc()
+	if s.tenantsOn {
+		s.met.tenantAdmitted.With(req.ten.label).Inc()
+		req.ten.outstanding++
+	}
 	s.met.queueDepth.Observe(float64(len(c.pending)))
 	c.pending = append(c.pending, req)
 	// If the chip is known-idle this dispatches immediately; otherwise the
 	// request waits for the in-flight batch's virtual completion.
 	s.advance(c, t, false)
 	s.met.chipDepth.With(c.label).Set(float64(len(c.pending)))
+}
+
+// evictFor makes room on a full queue for a higher-priority arrival: the
+// victim is the newest pending request of the lowest priority class
+// strictly below the arrival's, and it is shed in the arrival's place.
+// No-op when nothing outranks.
+func (s *Server) evictFor(c *chip, req *Request, t float64) {
+	prio := 0
+	if req.ten != nil {
+		prio = req.ten.prio
+	}
+	vi, vp := -1, prio
+	for i, r := range c.pending {
+		p := 0
+		if r.ten != nil {
+			p = r.ten.prio
+		}
+		if p < vp {
+			vi, vp = i, p
+		} else if vi >= 0 && p == vp {
+			vi = i // newest within the lowest class
+		}
+	}
+	if vi < 0 {
+		return
+	}
+	victim := c.pending[vi]
+	c.pending = append(c.pending[:vi], c.pending[vi+1:]...)
+	s.met.shed.Inc()
+	s.met.evicted.Inc()
+	if victim.ten != nil {
+		s.met.tenantShed.With(victim.ten.label).Inc()
+		victim.ten.outstanding--
+	}
+	if tr := s.cfg.Tracer; tr.Enabled() {
+		tr.At("evict", c.id, t, t, nil,
+			obs.Int64("request", int64(victim.ID)),
+			obs.Int64("by", int64(req.ID)))
+	}
+	victim.respond(Response{ID: victim.ID, Chip: c.id, Shed: true})
+}
+
+// advanceAll synchronously advances every live chip to t (in id order, so
+// any batch completions book deterministically).
+func (s *Server) advanceAll(t float64) {
+	for _, c := range s.chips {
+		if !c.removed {
+			s.advance(c, t, true)
+		}
+	}
+}
+
+// viewOf snapshots one chip for routing. Drift fields are populated only
+// on the exact path: reading the controller requires that no worker is
+// mid-batch, which the blocking advance guarantees (any remaining
+// in-flight batch has its result observed, i.e. done).
+func (s *Server) viewOf(c *chip, t float64, exact bool) ChipView {
+	v := ChipView{
+		Chip:   c.id,
+		Queue:  len(c.pending),
+		Busy:   c.inflight != nil,
+		FreeAt: c.freeAt,
+	}
+	if exact {
+		v.Age = c.ctrl.Age(t)
+		v.DeadlineAge = c.ctrl.ForcedReprogramAge()
+	}
+	return v
+}
+
+// maintainHosts runs the router's off-path maintenance policy over the
+// candidates: an idle, empty chip the router flags (drift-aware: inside
+// the steering margin of its forced deadline) takes its reprogram pass
+// immediately. The write stall occupies the chip's idle time — freeAt
+// moves past the pass, so a batch formed later starts after it — instead
+// of riding on a live batch. Chips are visited in id order on exact
+// virtual-time state, so the maintenance schedule replays exactly.
+func (s *Server) maintainHosts(hosts []*chip, t float64) {
+	for _, c := range hosts {
+		if c.inflight != nil || len(c.pending) != 0 || c.freeAt > t {
+			continue
+		}
+		if !s.router.Maintain(s.viewOf(c, t, true)) {
+			continue
+		}
+		energy, lat := c.ctrl.Reprogram(t)
+		c.freeAt = t + lat
+		c.energySum += energy
+		c.latencySum += lat
+		s.met.maintenance.Inc()
+		s.met.chipReprogram.With(c.label).Inc()
+		s.met.chipEnergy.With(c.label).Set(c.energySum)
+		s.noteReprogram(c)
+	}
+}
+
+// noteReprogram applies the reprogram-budget bookkeeping shared by forced
+// (on-path) and maintenance passes.
+func (s *Server) noteReprogram(c *chip) {
+	if s.cfg.ReprogramBudget > 0 && !c.degraded && c.ctrl.Reprograms() >= s.cfg.ReprogramBudget {
+		c.degraded = true
+		s.met.chipDegraded.With(c.label).Set(1)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("chip degraded",
+				"chip", c.id, "model", c.model,
+				"reprograms", c.ctrl.Reprograms(),
+				"budget", s.cfg.ReprogramBudget)
+		}
+	}
 }
 
 // advance moves chip c's virtual time forward to t: it observes worker
@@ -134,6 +431,17 @@ func (s *Server) advance(c *chip, t float64, block bool) {
 			}
 			if b.finish > t {
 				return
+			}
+			// The batch is virtually complete: retire it. Tenant outstanding
+			// counts decrement here — at the virtual finish, not at result
+			// observation — so quota checks see occupancy that is a pure
+			// function of virtual time.
+			if s.tenantsOn {
+				for _, r := range b.reqs {
+					if r.ten != nil {
+						r.ten.outstanding--
+					}
+				}
 			}
 			c.freeAt = b.finish
 			c.inflight = nil
@@ -161,8 +469,11 @@ func (s *Server) advance(c *chip, t float64, block bool) {
 }
 
 // startBatch forms a batch from the first n pending requests and hands it
-// to the worker pool. The jobs channel holds one slot per chip, so the send
-// never blocks.
+// to the worker pool. The jobs channel was sized one slot per seed chip;
+// a fleet grown past that can make the send block briefly until a worker
+// frees a slot — safe, because workers always drain: the per-chip results
+// channel (capacity 1, at most one batch in flight per chip) and the
+// dedup-guarded wake send never block a worker.
 func (s *Server) startBatch(c *chip, start float64, n int) {
 	reqs := make([]*Request, n)
 	copy(reqs, c.pending[:n])
@@ -230,16 +541,8 @@ func (s *Server) finishBatch(b *batch) {
 	}
 	if rep.Reprogrammed {
 		s.met.chipReprogram.With(c.label).Add(uint64(rep.ReprogramPasses))
-		if s.cfg.ReprogramBudget > 0 && !c.degraded && c.ctrl.Reprograms() >= s.cfg.ReprogramBudget {
-			c.degraded = true
-			s.met.chipDegraded.With(c.label).Set(1)
-			if s.cfg.Logger != nil {
-				s.cfg.Logger.Warn("chip degraded",
-					"chip", c.id, "model", c.model,
-					"reprograms", c.ctrl.Reprograms(),
-					"budget", s.cfg.ReprogramBudget)
-			}
-		}
+		s.met.reprogramOnPath.Add(uint64(len(b.reqs)))
+		s.noteReprogram(c)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 
 	"odin/internal/obs"
@@ -21,8 +22,9 @@ const maxInferBody = 1 << 16
 // decision pass. Count defaults to 1; the legacy ?model=NAME query form is
 // accepted when the body is empty.
 type InferRequest struct {
-	Model string `json:"model"`
-	Count int    `json:"count,omitempty"`
+	Model  string `json:"model"`
+	Count  int    `json:"count,omitempty"`
+	Tenant string `json:"tenant,omitempty"` // admission class; see Config.Tenants
 }
 
 // InferReply is the JSON body of a successful POST /infer: one Response
@@ -36,18 +38,26 @@ type httpError struct {
 	Error string `json:"error"`
 }
 
-// HasModel reports whether any chip of the fleet hosts the named model.
-// The fleet is fixed at NewServer, so this is safe from any goroutine.
+// HasModel reports whether any live chip of the fleet hosts the named
+// model. Safe from any goroutine (the dispatcher maintains the index as
+// chips are added and removed); necessarily advisory under churn — the
+// authoritative check is the routing error on the submission itself.
 func (s *Server) HasModel(name string) bool {
-	return len(s.byModel[name]) > 0
+	s.modelsMu.RLock()
+	defer s.modelsMu.RUnlock()
+	return s.models[name] > 0
 }
 
-// Models lists the distinct models hosted by the fleet, sorted.
+// Models lists the distinct models hosted by live chips, sorted.
 func (s *Server) Models() []string {
-	out := make([]string, 0, len(s.byModel))
-	for name := range s.byModel {
-		out = append(out, name)
+	s.modelsMu.RLock()
+	out := make([]string, 0, len(s.models))
+	for name, n := range s.models {
+		if n > 0 {
+			out = append(out, name)
+		}
 	}
+	s.modelsMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -83,6 +93,15 @@ type HandlerOptions struct {
 	// pprof/. Off by default: profiling endpoints leak operational detail
 	// and cost CPU, so live deployments must opt in (odinserve -debug).
 	Debug bool
+	// Admin registers the fleet control plane:
+	//
+	//	GET    /admin/fleet       JSON ChipInfo snapshot of every chip
+	//	POST   /admin/chips       hot-add a chip {"model":"NAME","seed":N}
+	//	DELETE /admin/chips/{id}  drain and remove chip id
+	//
+	// Off by default: mutating the fleet is an operator capability, so
+	// live deployments must opt in (odinserve -admin).
+	Admin bool
 }
 
 // NewHandlerOpts is NewHandler plus opt-in observability endpoints:
@@ -105,8 +124,19 @@ func NewHandlerOpts(s *Server, opts HandlerOptions) http.Handler {
 		fmt.Fprint(w, sb.String())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Fail readiness the moment Close flips draining: /infer already
+		// answers 503, and a healthy-looking drainer would keep fleet
+		// front-ends routing traffic at a server that rejects it.
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
+	if opts.Admin {
+		registerAdmin(mux, s)
+	}
 	if opts.Tracer.Enabled() {
 		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 			var sb strings.Builder
@@ -174,6 +204,70 @@ func parseInfer(r *http.Request) (InferRequest, int, error) {
 	return req, 0, nil
 }
 
+// adminAddRequest is the JSON body of POST /admin/chips.
+type adminAddRequest struct {
+	Model string `json:"model"`
+	Seed  uint64 `json:"seed,omitempty"`
+}
+
+// adminAddReply is the JSON body of a successful POST /admin/chips.
+type adminAddReply struct {
+	ID int `json:"id"`
+}
+
+// registerAdmin wires the fleet control plane. Handlers use Go 1.22
+// method+wildcard mux patterns, so mismatched methods get the mux's own
+// 405s.
+func registerAdmin(mux *http.ServeMux, s *Server) {
+	mux.HandleFunc("GET /admin/fleet", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.FleetInfo()
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "odinserve: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /admin/chips", func(w http.ResponseWriter, r *http.Request) {
+		var req adminAddRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxInferBody)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "odinserve: malformed JSON body: %v", err)
+			return
+		}
+		if req.Model == "" {
+			writeError(w, http.StatusBadRequest, `odinserve: missing model: POST /admin/chips {"model":"NAME"}`)
+			return
+		}
+		id, err := s.AddChip(ChipConfig{Model: req.Model, Seed: req.Seed})
+		if err != nil {
+			status := http.StatusBadRequest
+			if strings.Contains(err.Error(), "draining") {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, "odinserve: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, adminAddReply{ID: id})
+	})
+	mux.HandleFunc("DELETE /admin/chips/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "odinserve: chip id %q is not a number", r.PathValue("id"))
+			return
+		}
+		if err := s.RemoveChip(id); err != nil {
+			status := http.StatusNotFound
+			if strings.Contains(err.Error(), "draining") {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, "odinserve: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Removed int `json:"removed"`
+		}{Removed: id})
+	})
+}
+
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -200,7 +294,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	// coalesce the submissions into one decision pass.
 	chans := make([]<-chan Response, req.Count)
 	for i := range chans {
-		chans[i] = s.Submit(req.Model)
+		chans[i] = s.SubmitAs(req.Model, req.Tenant)
 	}
 	reply := InferReply{Responses: make([]Response, req.Count)}
 	allShed := true

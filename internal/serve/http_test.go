@@ -210,3 +210,109 @@ func TestServerModelAccessors(t *testing.T) {
 		t.Errorf("MaxBatch() = %d, want 4", got)
 	}
 }
+
+// TestHTTPHealthzDraining is the satellite-2 regression: /healthz must
+// fail readiness the moment Close flips draining — a healthy-looking
+// drainer would keep front-ends routing at a server that rejects traffic.
+func TestHTTPHealthzDraining(t *testing.T) {
+	t.Parallel()
+	s, _ := tinyServer(t, 1, Config{})
+	h := NewHandler(s)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "ok" {
+		t.Fatalf("pre-drain /healthz = %d %q, want 200 ok", rec.Code, rec.Body.String())
+	}
+
+	s.Close()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("draining /healthz body %q does not say draining", rec.Body.String())
+	}
+}
+
+// TestHTTPAdminFleet exercises the opt-in control plane end to end:
+// snapshot, hot add, remove, and the error paths.
+func TestHTTPAdminFleet(t *testing.T) {
+	t.Parallel()
+	s, _ := tinyServer(t, 1, Config{})
+	h := NewHandlerOpts(s, HandlerOptions{Admin: true})
+	do := func(method, target, body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(method, target, strings.NewReader(body)))
+		return rec
+	}
+
+	rec := do(http.MethodGet, "/admin/fleet", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /admin/fleet = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var info []ChipInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if len(info) != 1 || info[0].Model != "tiny" || info[0].Removed {
+		t.Fatalf("fleet snapshot %+v, want one live tiny chip", info)
+	}
+
+	// Hot add from the model zoo.
+	rec = do(http.MethodPost, "/admin/chips", `{"model":"VGG11","seed":9}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /admin/chips = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var added adminAddReply
+	if err := json.Unmarshal(rec.Body.Bytes(), &added); err != nil {
+		t.Fatal(err)
+	}
+	if added.ID != 1 {
+		t.Fatalf("added chip id %d, want 1", added.ID)
+	}
+	if !s.HasModel("VGG11") {
+		t.Fatal("HasModel(VGG11) = false after hot add")
+	}
+
+	rec = do(http.MethodDelete, "/admin/chips/1", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("DELETE /admin/chips/1 = %d (%s)", rec.Code, rec.Body.String())
+	}
+	if s.HasModel("VGG11") {
+		t.Fatal("HasModel(VGG11) = true after its only host was removed")
+	}
+
+	for _, tc := range []struct {
+		name, method, target, body string
+		want                       int
+	}{
+		{"add-unknown-model", http.MethodPost, "/admin/chips", `{"model":"VGG999"}`, http.StatusBadRequest},
+		{"add-missing-model", http.MethodPost, "/admin/chips", `{}`, http.StatusBadRequest},
+		{"add-malformed", http.MethodPost, "/admin/chips", `{`, http.StatusBadRequest},
+		{"remove-unknown-id", http.MethodDelete, "/admin/chips/99", "", http.StatusNotFound},
+		{"remove-twice", http.MethodDelete, "/admin/chips/1", "", http.StatusNotFound},
+		{"remove-non-numeric", http.MethodDelete, "/admin/chips/x", "", http.StatusBadRequest},
+	} {
+		if rec := do(tc.method, tc.target, tc.body); rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+
+	// Without the opt-in the control plane does not exist.
+	plain := NewHandler(s)
+	rec = httptest.NewRecorder()
+	plain.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/admin/fleet", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /admin/fleet without Admin = %d, want 404", rec.Code)
+	}
+
+	s.Close()
+	if rec := do(http.MethodPost, "/admin/chips", `{"model":"VGG11"}`); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("add while draining = %d, want 503", rec.Code)
+	}
+	if rec := do(http.MethodGet, "/admin/fleet", ""); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("fleet snapshot while draining = %d, want 503", rec.Code)
+	}
+}

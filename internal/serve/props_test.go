@@ -60,17 +60,23 @@ func (c fleetCase) trace(t testing.TB) Trace {
 
 // TestPropReplayConservation pins request conservation through the serving
 // stack under arbitrary load: every submitted request is answered exactly
-// once, in id order, as exactly one of admitted, shed, or errored; admitted
-// responses carry legal OU decisions and non-negative costs.
+// once, in id order, as exactly one of admitted, shed, rejected, or
+// errored; admitted responses carry legal OU decisions and non-negative
+// costs. Rejections (Submit while draining) are counted explicitly — they
+// carry the RejectedID sentinel, not a real id — and cannot occur under
+// Replay, which finishes submitting before Close.
 func TestPropReplayConservation(t *testing.T) {
 	t.Parallel()
 	grid := core.DefaultSystem().Grid()
 	check.RunConfig(t, check.Config{Trials: 20}, genFleetCase(), func(c fleetCase) error {
 		tr := c.trace(t)
 		res := replayOnce(t, tr, c.Chips, c.Workers)
-		if got := res.Admitted + res.Shed + res.Errors; got != len(tr) {
-			return fmt.Errorf("conservation broken: admitted %d + shed %d + errors %d = %d, submitted %d",
-				res.Admitted, res.Shed, res.Errors, got, len(tr))
+		if got := res.Admitted + res.Shed + res.Errors + res.Rejected; got != len(tr) {
+			return fmt.Errorf("conservation broken: admitted %d + shed %d + errors %d + rejected %d = %d, submitted %d",
+				res.Admitted, res.Shed, res.Errors, res.Rejected, got, len(tr))
+		}
+		if res.Rejected != 0 {
+			return fmt.Errorf("%d rejections under Replay, which submits everything before Close", res.Rejected)
 		}
 		if len(res.Responses) != len(tr) {
 			return fmt.Errorf("%d responses for %d requests", len(res.Responses), len(tr))

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ChipView is the dispatcher's snapshot of one candidate chip, handed to a
+// Router's Pick in chip-id order. Queue/Busy/FreeAt reflect the chip's
+// virtual-time state; for routers that declare Exact, the dispatcher has
+// synchronously advanced every candidate to the arrival time first, so the
+// occupancy numbers are exact (and Age/DeadlineAge are populated — reading
+// controller drift state is only safe once no worker is mid-batch, which
+// the exact advance guarantees). Non-exact routers see opportunistic
+// occupancy and zero drift fields.
+type ChipView struct {
+	Chip        int     // chip id
+	Queue       int     // pending (admitted, waiting) requests
+	Busy        bool    // a batch is in flight
+	FreeAt      float64 // virtual time the chip last went idle
+	Age         float64 // device age at the arrival time (exact routers only)
+	DeadlineAge float64 // forced-reprogram age; +Inf when drift never forces (exact routers only)
+}
+
+// Router is one pluggable arrival-routing policy. The dispatcher calls
+// Pick once per admitted-model arrival with the views of every live chip
+// hosting the model; the returned index selects the serving chip. Routers
+// run on the dispatcher goroutine, so implementations may keep unguarded
+// state (like round-robin cursors) but must be deterministic functions of
+// the arrival sequence and the views — replay byte-identity at every
+// worker count is the layer's acceptance gate.
+type Router interface {
+	// Name is the registry key ("rr", "least", "drift", ...).
+	Name() string
+	// Exact reports whether Pick needs exact virtual-time occupancy. When
+	// true the dispatcher blocks on in-flight results to advance every
+	// candidate chip to the arrival time before building views; when false
+	// views carry whatever the dispatcher has opportunistically observed.
+	Exact() bool
+	// Pick selects views[i]'s chip for an arrival of the given model at
+	// virtual time t. len(views) >= 1; views are in chip-id order.
+	Pick(model string, t float64, views []ChipView) int
+	// Maintain reports whether an idle, empty chip should take a
+	// maintenance reprogram pass now — off the latency path, while Pick is
+	// steering arrivals elsewhere. Only consulted for Exact routers, on
+	// chips with no queue and no batch in flight.
+	Maintain(v ChipView) bool
+}
+
+// RouterFactory builds a Router for one server. Factories see the full
+// Config so policies can read their knobs (e.g. DriftMargin).
+type RouterFactory func(cfg Config) Router
+
+// routerFactories is the process-wide registry. The three built-ins are
+// always present; RegisterRouter adds more (init-time, before any
+// NewServer call).
+var routerFactories = map[string]RouterFactory{
+	"rr":    func(Config) Router { return &roundRobin{cur: make(map[string]int)} },
+	"least": func(Config) Router { return leastLoaded{} },
+	"drift": func(cfg Config) Router {
+		m := cfg.DriftMargin
+		if m <= 0 || m >= 1 {
+			m = defaultDriftMargin
+		}
+		return driftAware{margin: m}
+	},
+}
+
+// defaultDriftMargin is the fraction of a chip's forced-reprogram deadline
+// at which the drift-aware router starts steering arrivals away from it.
+const defaultDriftMargin = 0.85
+
+// RegisterRouter adds a routing policy to the registry. Call from init;
+// registering a taken name is a programming error.
+func RegisterRouter(name string, f RouterFactory) {
+	if name == "" || f == nil {
+		panic("serve: RegisterRouter needs a name and a factory")
+	}
+	if _, dup := routerFactories[name]; dup {
+		panic(fmt.Sprintf("serve: RegisterRouter called twice for %q", name))
+	}
+	routerFactories[name] = f
+}
+
+// RouterNames lists the registered routing policies, sorted.
+func RouterNames() []string {
+	out := make([]string, 0, len(routerFactories))
+	for name := range routerFactories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newRouter resolves cfg.Router ("" selects "rr", the replay-compatible
+// baseline) against the registry.
+func newRouter(cfg Config) (Router, error) {
+	name := cfg.Router
+	if name == "" {
+		name = "rr"
+	}
+	f, ok := routerFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown router %q (have %v)", name, RouterNames())
+	}
+	return f(cfg), nil
+}
+
+// roundRobin is the original routing policy: rotate over the chips hosting
+// each model, advanced once per arrival. It ignores occupancy entirely, so
+// it needs no exact state — and stays byte-compatible with every replay
+// recorded before routers were pluggable.
+type roundRobin struct {
+	cur map[string]int // per-model cursor
+}
+
+func (r *roundRobin) Name() string { return "rr" }
+func (r *roundRobin) Exact() bool  { return false }
+
+func (r *roundRobin) Pick(model string, t float64, views []ChipView) int {
+	cur := r.cur[model]
+	r.cur[model] = cur + 1
+	return cur % len(views)
+}
+
+func (r *roundRobin) Maintain(ChipView) bool { return false }
+
+// leastLoaded routes each arrival to the candidate with the fewest
+// outstanding requests (queue plus the in-flight batch), ties broken by
+// chip id. Occupancy must be exact or the choice would depend on how
+// eagerly worker results happened to be observed.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return "least" }
+func (leastLoaded) Exact() bool  { return true }
+
+func (leastLoaded) Pick(model string, t float64, views []ChipView) int {
+	best, bestLoad := 0, viewLoad(views[0], t)
+	for i := 1; i < len(views); i++ {
+		if l := viewLoad(views[i], t); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+func (leastLoaded) Maintain(ChipView) bool { return false }
+
+// viewLoad is a chip's outstanding-work score: queued requests plus one
+// when a batch is in flight or the chip is committed (virtually busy)
+// until after t — e.g. a maintenance write pass still in progress.
+func viewLoad(v ChipView, t float64) int {
+	load := v.Queue
+	if v.Busy || v.FreeAt > t {
+		load++
+	}
+	return load
+}
+
+// driftAware is least-loaded routing with a drift penalty: chips whose
+// device age is within margin of their forced-reprogram deadline
+// (accuracy.ReprogramDeadline at the smallest OU — the age where
+// Algorithm 1 lines 7-8 *force* a write pass onto whatever batch is
+// running) are avoided while any fresher candidate exists, and idle
+// near-deadline chips take their write pass as off-path maintenance
+// instead. The reprogram stall then overlaps steered-away idle time
+// rather than landing on the latency path.
+type driftAware struct {
+	margin float64 // fraction of the deadline at which steering starts
+}
+
+func (driftAware) Name() string { return "drift" }
+func (driftAware) Exact() bool  { return true }
+
+// Near reports whether the chip is inside the steering margin of its
+// forced-reprogram deadline.
+func (d driftAware) Near(v ChipView) bool {
+	return !math.IsInf(v.DeadlineAge, 1) && v.Age >= d.margin*v.DeadlineAge
+}
+
+func (d driftAware) Pick(model string, t float64, views []ChipView) int {
+	best := 0
+	bestNear, bestLoad := d.Near(views[0]), viewLoad(views[0], t)
+	for i := 1; i < len(views); i++ {
+		near, load := d.Near(views[i]), viewLoad(views[i], t)
+		if near != bestNear {
+			if bestNear {
+				best, bestNear, bestLoad = i, near, load
+			}
+			continue
+		}
+		if load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+func (d driftAware) Maintain(v ChipView) bool { return d.Near(v) }
+
+// nearAware lets the dispatcher count steered arrivals (a near-deadline
+// candidate existed and the pick avoided it) without knowing the policy.
+type nearAware interface {
+	Near(v ChipView) bool
+}

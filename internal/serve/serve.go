@@ -1,22 +1,35 @@
 // Package serve is the concurrent inference-serving layer over a simulated
 // fleet of ReRAM chips. Each chip owns one prepared workload, one Odin
 // controller (policy, training buffer, drift bookkeeping), and one
-// reprogram budget; requests are routed to chips round-robin per model,
-// admitted through bounded per-chip queues (shed with a 429-style rejection
-// when the queue is full), coalesced into per-chip batches, and executed on
-// a fixed worker pool. Shutdown drains: every admitted request receives its
-// response exactly once.
+// reprogram budget; requests are routed to chips by a pluggable Router
+// (round-robin, least-loaded, or drift-aware — see router.go), admitted
+// through bounded per-chip queues (shed with a 429-style rejection when
+// the queue is full) under optional per-tenant quotas and priority
+// classes, coalesced into per-chip batches, and executed on a fixed worker
+// pool. Chips can be added and removed while serving (AddChip/RemoveChip —
+// scale-out, simulated failure, retirement); removal drains the chip's
+// queue first, so the exactly-once response contract survives fleet
+// churn. Shutdown drains: every admitted request receives its response
+// exactly once.
 //
 // # Determinism
 //
 // All time flows through internal/clock. Replayed against a Virtual clock
-// (see Trace and Replay in trace.go), the layer is deterministic at the
-// request level: the same trace and seed produce byte-identical per-request
-// OU decisions, reprogram events, and energy/latency figures, independent
-// of worker count and goroutine scheduling. This holds because
+// (see Trace, Replay and ReplayOps in trace.go), the layer is
+// deterministic at the request level: the same trace, seed and fleet-op
+// schedule produce byte-identical per-request OU decisions, reprogram
+// events, and energy/latency figures, independent of worker count and
+// goroutine scheduling. This holds because
 //
-//   - routing is round-robin over config order, decided in arrival order
-//     by the single dispatcher goroutine;
+//   - routing is decided in arrival order by the single dispatcher
+//     goroutine; routers that score occupancy or drift age declare
+//     Exact(), which makes the dispatcher synchronously advance every
+//     candidate chip to the arrival time first, so the scores are pure
+//     functions of virtual time (round-robin skips the advance and stays
+//     byte-compatible with pre-router replays);
+//   - fleet ops (add/remove) flow through the same event stream as
+//     arrivals, so their order relative to the arrival sequence is fixed
+//     by the submitter, not by scheduling;
 //   - batch composition is a pure function of virtual time: when a chip
 //     goes idle at time f with requests waiting, the next batch starts at
 //     s = max(f, first waiting arrival) and contains the longest waiting
@@ -50,15 +63,23 @@ import (
 	"odin/internal/telemetry"
 )
 
+// RejectedID is the sentinel Response.ID of a submission rejected before
+// it ever entered the dispatcher (Submit after Close has flipped
+// draining). Real ids are assigned by the dispatcher in arrival order
+// starting at 0, so they can never collide with the sentinel — a rejected
+// Response is distinguishable from request 0 by ID alone.
+const RejectedID = ^uint64(0)
+
 // Response is the outcome of one request. Exactly one Response is
 // delivered per submitted request, on the channel Submit returns.
 type Response struct {
-	ID    uint64 // request sequence number (arrival order)
+	ID    uint64 // request sequence number (arrival order); RejectedID for rejections
 	Chip  int    // serving chip id (the routed chip for sheds; -1 for routing errors)
 	Batch uint64 // per-chip batch index the request rode in
 
-	Shed bool   // true when rejected by admission control (429-style)
-	Err  string // non-empty for routing errors (unknown model, draining)
+	Shed     bool   // true when rejected by admission control (429-style)
+	Rejected bool   // true when rejected at Submit while draining (never dispatched)
+	Err      string // non-empty for routing errors (unknown model, draining)
 
 	Sizes        []ou.Size // per-layer OU decisions of the batch's run
 	Energy       float64   // per-request inference energy (J)
@@ -72,8 +93,13 @@ type Response struct {
 type Request struct {
 	ID      uint64
 	Model   string
+	Tenant  string  // submitting tenant ("" = the default class)
 	Arrival float64 // seconds on the server clock, stamped at Submit
 	done    chan Response
+
+	// ten is the resolved tenant state, stamped by the dispatcher when
+	// tenant accounting is on (dispatcher-owned, like ID).
+	ten *tenantState
 }
 
 // respond delivers the request's single response (channel has capacity 1).
@@ -89,13 +115,49 @@ type ChipConfig struct {
 	// Seed initialises the chip's policy (and, unless the controller
 	// options pin one, its training stream). 0 derives a per-chip default.
 	Seed uint64
+	// ProgrammedAt back-dates the chip's last write pass (typically
+	// negative; see core.ControllerOptions.ProgrammedAt). Staggering it
+	// across a fleet desynchronizes drift phases, so forced reprograms
+	// arrive as a steady trickle instead of a fleet-wide herd.
+	ProgrammedAt float64
+}
+
+// TenantConfig is one admission class. Tenants partition the request
+// stream for quota and priority purposes; requests name their tenant via
+// SubmitAs (unnamed submissions ride the zero-value default class).
+type TenantConfig struct {
+	// Name identifies the tenant ("" configures the default class).
+	Name string
+	// Quota caps the tenant's outstanding admitted requests across the
+	// fleet; arrivals beyond it are shed (429-style). 0 = unlimited.
+	Quota int
+	// Priority orders classes at a full chip queue: an arrival of a
+	// higher-priority tenant evicts the newest queued request of the
+	// lowest queued class below it (the evictee is shed) instead of being
+	// shed itself. Equal priorities never preempt each other. Default 0.
+	Priority int
 }
 
 // Config parameterises a Server.
 type Config struct {
-	// Chips is the fleet; at least one. Several chips may host the same
-	// model — requests for that model rotate across them.
+	// Chips is the initial fleet; at least one. Several chips may host the
+	// same model — requests for that model rotate across them. Chips can
+	// be added and removed later with AddChip/RemoveChip.
 	Chips []ChipConfig
+	// Router names the arrival-routing policy: "rr" (default, the
+	// replay-compatible round-robin baseline), "least" (least-loaded), or
+	// "drift" (least-loaded with steering away from chips near their
+	// forced-reprogram deadline, plus off-path maintenance write passes).
+	// See RouterNames and RegisterRouter.
+	Router string
+	// DriftMargin tunes the "drift" router: steering starts when a chip's
+	// device age exceeds DriftMargin × its forced-reprogram deadline.
+	// Must be in (0,1); 0 selects the default 0.85.
+	DriftMargin float64
+	// Tenants configures admission classes (quotas, priorities). Empty
+	// disables tenant accounting entirely: SubmitAs still works, but no
+	// quota is enforced and no per-tenant series are emitted.
+	Tenants []TenantConfig
 	// QueueDepth bounds each chip's wait queue (default 16).
 	QueueDepth int
 	// MaxBatch caps how many queued requests coalesce into one decision
@@ -182,6 +244,19 @@ type chip struct {
 	latencySum float64
 	served     uint64
 	degraded   bool
+
+	// removed marks a retired chip: it is out of byModel (receives no new
+	// work), its queue was drained at removal, and only its historical
+	// accumulators remain readable. Ids are never reused.
+	removed bool
+}
+
+// tenantState is the dispatcher-owned accounting of one admission class.
+type tenantState struct {
+	label       string // metric label ("default" for the unnamed class)
+	quota       int
+	prio        int
+	outstanding int // admitted, not yet responded (exact under quota enforcement)
 }
 
 // batch is one coalesced decision pass. Written by the dispatcher, handed
@@ -203,8 +278,23 @@ type metrics struct {
 	admitted  *telemetry.Counter
 	shed      *telemetry.Counter
 	errors    *telemetry.Counter
+	rejected  *telemetry.Counter
+	evicted   *telemetry.Counter
+	quotaShed *telemetry.Counter
 	completed *telemetry.Counter
 	batches   *telemetry.Counter
+
+	steered         *telemetry.Counter
+	maintenance     *telemetry.Counter
+	reprogramOnPath *telemetry.Counter
+
+	fleetChips   *telemetry.Gauge
+	chipsAdded   *telemetry.Counter
+	chipsRemoved *telemetry.Counter
+
+	tenantRequests *telemetry.CounterVec
+	tenantAdmitted *telemetry.CounterVec
+	tenantShed     *telemetry.CounterVec
 
 	batchSize  *telemetry.Histogram
 	queueWait  *telemetry.Histogram
@@ -224,8 +314,26 @@ func newMetrics(r *telemetry.Registry) metrics {
 		admitted:  r.Counter("odinserve_admitted_total", "requests admitted past admission control"),
 		shed:      r.Counter("odinserve_shed_total", "requests shed by admission control (429)"),
 		errors:    r.Counter("odinserve_errors_total", "requests rejected for routing errors"),
+		rejected:  r.Counter("odinserve_rejected_total", "submissions rejected while draining (never dispatched)"),
+		evicted:   r.Counter("odinserve_evicted_total", "queued requests evicted by higher-priority arrivals (subset of shed)"),
+		quotaShed: r.Counter("odinserve_quota_shed_total", "requests shed by tenant quota enforcement (subset of shed)"),
 		completed: r.Counter("odinserve_completed_total", "requests served to completion"),
 		batches:   r.Counter("odinserve_batches_total", "decision-pass batches dispatched"),
+
+		steered: r.Counter("odinserve_steered_total",
+			"arrivals routed away from a chip near its forced-reprogram deadline"),
+		maintenance: r.Counter("odinserve_maintenance_reprograms_total",
+			"off-path reprogram passes taken on idle chips"),
+		reprogramOnPath: r.Counter("odinserve_reprogram_on_path_requests_total",
+			"requests whose batch carried a forced reprogram stall"),
+
+		fleetChips:   r.Gauge("odinserve_fleet_chips", "live (non-removed) chips in the fleet"),
+		chipsAdded:   r.Counter("odinserve_chips_added_total", "chips hot-added while serving"),
+		chipsRemoved: r.Counter("odinserve_chips_removed_total", "chips drained and removed while serving"),
+
+		tenantRequests: r.CounterVec("odinserve_tenant_requests_total", "requests submitted per tenant", "tenant"),
+		tenantAdmitted: r.CounterVec("odinserve_tenant_admitted_total", "requests admitted per tenant", "tenant"),
+		tenantShed:     r.CounterVec("odinserve_tenant_shed_total", "requests shed per tenant (quota, queue, or eviction)", "tenant"),
 
 		batchSize: r.Histogram("odinserve_batch_size",
 			"coalesced requests per batch", []float64{1, 2, 4, 8, 16, 32}),
@@ -243,6 +351,31 @@ func newMetrics(r *telemetry.Registry) metrics {
 	}
 }
 
+// event is one entry of the dispatcher's serialized input stream: an
+// arrival or a fleet operation. Interleaving both through one channel is
+// what fixes the order of fleet churn relative to the arrival sequence —
+// an op submitted before arrival i is processed before arrival i,
+// regardless of scheduling.
+type event struct {
+	req *Request
+	op  *fleetOp
+}
+
+// fleetOp is one control-plane request (hot add, drain-and-remove, or
+// fleet snapshot), answered synchronously on reply.
+type fleetOp struct {
+	add    *ChipConfig // add a chip when non-nil
+	remove int         // chip id to drain and remove (when add == nil and !info)
+	info   bool        // snapshot the fleet
+	reply  chan fleetOpResult
+}
+
+type fleetOpResult struct {
+	id   int
+	info []ChipInfo
+	err  error
+}
+
 // Server shards a fleet of simulated ReRAM chips behind bounded queues and
 // a fixed worker pool. Create with NewServer, start with Start, submit with
 // Submit, stop with Close.
@@ -250,12 +383,30 @@ type Server struct {
 	cfg Config
 	clk clock.Clock
 	met metrics
+	sys core.System
 
 	chips   []*chip
 	byModel map[string][]*chip
-	rr      map[string]int // round-robin cursor per model (dispatcher-owned)
+	router  Router
 
-	events chan *Request
+	// models mirrors byModel's live-host counts for HTTP-side lookups
+	// (HasModel/Models run on handler goroutines while the dispatcher
+	// mutates byModel during fleet churn).
+	modelsMu sync.RWMutex
+	models   map[string]int
+
+	// tenants resolves admission classes; tenantsOn gates all tenant
+	// bookkeeping (quota advance, eviction, per-tenant series) so the
+	// tenant-free configuration costs one boolean test per arrival.
+	// quotaOn is set when any class has a quota, which is what forces the
+	// exact fleet-wide advance per arrival. Dispatcher-owned.
+	tenants   map[string]*tenantState
+	tenantsOn bool
+	quotaOn   bool
+
+	viewBuf []ChipView // router Pick scratch (dispatcher-owned)
+
+	events chan event
 	jobs   chan *batch
 	wake   chan *chip // Live mode: completion signals (≤1 outstanding per chip)
 	drainc chan chan struct{}
@@ -307,59 +458,119 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		clk:     cfg.Clock,
 		met:     newMetrics(cfg.Registry),
+		sys:     sys,
 		byModel: make(map[string][]*chip),
-		rr:      make(map[string]int),
-		events:  make(chan *Request, 64+len(cfg.Chips)*cfg.QueueDepth),
+		models:  make(map[string]int),
+		events:  make(chan event, 64+len(cfg.Chips)*cfg.QueueDepth),
 		jobs:    make(chan *batch, len(cfg.Chips)),
 		wake:    make(chan *chip, len(cfg.Chips)),
 		drainc:  make(chan chan struct{}),
 	}
+	router, err := newRouter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.router = router
+	if len(cfg.Tenants) > 0 {
+		s.tenants = make(map[string]*tenantState, len(cfg.Tenants))
+		s.tenantsOn = true
+		for _, tc := range cfg.Tenants {
+			if _, dup := s.tenants[tc.Name]; dup {
+				return nil, fmt.Errorf("serve: tenant %q configured twice", tc.Name)
+			}
+			if tc.Quota < 0 {
+				return nil, fmt.Errorf("serve: tenant %q quota %d is negative", tc.Name, tc.Quota)
+			}
+			s.tenants[tc.Name] = &tenantState{
+				label: tenantLabel(tc.Name), quota: tc.Quota, prio: tc.Priority,
+			}
+			if tc.Quota > 0 {
+				s.quotaOn = true
+			}
+		}
+	}
 	for i, cc := range cfg.Chips {
-		model := cc.Custom
-		name := cc.Model
-		if model == nil {
-			if name == "" {
-				return nil, fmt.Errorf("serve: chip %d names no model", i)
-			}
-			m, err := dnn.ByName(name)
-			if err != nil {
-				return nil, fmt.Errorf("serve: chip %d: %w", i, err)
-			}
-			model = m
-		} else if name == "" {
-			name = model.Name
-		}
-		wl, err := sys.Prepare(model)
+		c, err := s.newChip(i, cc)
 		if err != nil {
-			return nil, fmt.Errorf("serve: chip %d (%s): %w", i, name, err)
-		}
-		seed := cc.Seed
-		if seed == 0 {
-			seed = uint64(i) + 1
-		}
-		opts := cfg.Controller
-		if opts.TrainSeed == 0 {
-			opts.TrainSeed = seed
-		}
-		if cfg.Tracer != nil {
-			opts.Tracer, opts.TraceTrack = cfg.Tracer, i
-		}
-		pol := policy.New(policy.Config{Grid: sys.Grid(), Seed: seed})
-		ctrl, err := core.NewController(sys, wl, pol, opts)
-		if err != nil {
-			return nil, fmt.Errorf("serve: chip %d (%s): %w", i, name, err)
-		}
-		c := &chip{
-			id:      i,
-			label:   strconv.Itoa(i),
-			model:   name,
-			ctrl:    ctrl,
-			results: make(chan *batch, 1),
+			return nil, err
 		}
 		s.chips = append(s.chips, c)
-		s.byModel[name] = append(s.byModel[name], c)
+		s.byModel[c.model] = append(s.byModel[c.model], c)
+		s.models[c.model]++
 	}
+	s.met.fleetChips.Set(float64(len(s.chips)))
 	return s, nil
+}
+
+// tenantLabel maps the unnamed class to a printable metric label.
+func tenantLabel(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
+}
+
+// tenant resolves (and lazily creates) the dispatcher-owned state of one
+// admission class. Unconfigured names get a zero-quota, zero-priority
+// class; labels come from caller input, so operators own the cardinality.
+func (s *Server) tenant(name string) *tenantState {
+	ts, ok := s.tenants[name]
+	if !ok {
+		ts = &tenantState{label: tenantLabel(name)}
+		s.tenants[name] = ts
+	}
+	return ts
+}
+
+// newChip prepares one chip: its own workload instance, a fresh policy,
+// and a controller wired to the fleet's shared cache/tracer. Used both by
+// NewServer and by hot adds, so a chip joining mid-flight is constructed
+// exactly like a seed chip with the same id would have been.
+func (s *Server) newChip(id int, cc ChipConfig) (*chip, error) {
+	model := cc.Custom
+	name := cc.Model
+	if model == nil {
+		if name == "" {
+			return nil, fmt.Errorf("serve: chip %d names no model", id)
+		}
+		m, err := dnn.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("serve: chip %d: %w", id, err)
+		}
+		model = m
+	} else if name == "" {
+		name = model.Name
+	}
+	wl, err := s.sys.Prepare(model)
+	if err != nil {
+		return nil, fmt.Errorf("serve: chip %d (%s): %w", id, name, err)
+	}
+	seed := cc.Seed
+	if seed == 0 {
+		seed = uint64(id) + 1
+	}
+	opts := s.cfg.Controller
+	if opts.TrainSeed == 0 {
+		opts.TrainSeed = seed
+	}
+	if cc.ProgrammedAt != 0 {
+		opts.ProgrammedAt = cc.ProgrammedAt
+	}
+	if s.cfg.Tracer != nil {
+		opts.Tracer, opts.TraceTrack = s.cfg.Tracer, id
+	}
+	pol := policy.New(policy.Config{Grid: s.sys.Grid(), Seed: seed})
+	ctrl, err := core.NewController(s.sys, wl, pol, opts)
+	if err != nil {
+		return nil, fmt.Errorf("serve: chip %d (%s): %w", id, name, err)
+	}
+	return &chip{
+		id:      id,
+		label:   strconv.Itoa(id),
+		model:   name,
+		ctrl:    ctrl,
+		results: make(chan *batch, 1),
+	}, nil
 }
 
 // Start launches the dispatcher and the worker pool.
@@ -378,19 +589,26 @@ func (s *Server) Start() {
 	go s.dispatch()
 }
 
-// Submit stamps an arrival from the server clock and enqueues the request.
-// The returned channel delivers exactly one Response (buffered: the caller
-// may drop it without leaking). After Close, submissions are rejected
-// immediately with a draining error.
+// Submit stamps an arrival from the server clock and enqueues the request
+// under the default tenant class. The returned channel delivers exactly
+// one Response (buffered: the caller may drop it without leaking). After
+// Close, submissions are rejected immediately with a draining error and
+// the RejectedID sentinel.
 func (s *Server) Submit(model string) <-chan Response {
+	return s.SubmitAs(model, "")
+}
+
+// SubmitAs is Submit with an explicit tenant class (see Config.Tenants).
+func (s *Server) SubmitAs(model, tenant string) <-chan Response {
 	done := make(chan Response, 1)
-	req := &Request{Model: model, Arrival: s.clk.Now(), done: done}
+	req := &Request{Model: model, Tenant: tenant, Arrival: s.clk.Now(), done: done}
 	s.mu.RLock()
 	if !s.started || s.draining {
 		s.mu.RUnlock()
 		s.met.requests.Inc()
-		s.met.errors.Inc()
-		req.respond(Response{Chip: -1, Err: "odinserve: server is draining"})
+		s.met.rejected.Inc()
+		req.respond(Response{ID: RejectedID, Chip: -1, Rejected: true,
+			Err: "odinserve: server is draining"})
 		return done
 	}
 	// The send must complete under the read lock: Close takes the write lock
@@ -398,9 +616,66 @@ func (s *Server) Submit(model string) <-chan Response {
 	// dispatcher is still draining events when the send parks — the send
 	// cannot deadlock, and releasing the lock first would reopen the
 	// admitted-but-dropped race this ordering exists to close.
-	s.events <- req //lint:allow lockflow -- send under RLock is the admission/drain handshake; dispatcher always drains events while any RLock holder can be admitting
+	s.events <- event{req: req} //lint:allow lockflow -- send under RLock is the admission/drain handshake; dispatcher always drains events while any RLock holder can be admitting
 	s.mu.RUnlock()
 	return done
+}
+
+// sendOp runs one fleet operation through the dispatcher's event stream
+// and waits for its reply. The same RLock handshake as SubmitAs keeps the
+// send race-free against Close.
+func (s *Server) sendOp(op *fleetOp) fleetOpResult {
+	op.reply = make(chan fleetOpResult, 1)
+	s.mu.RLock()
+	if !s.started || s.draining {
+		s.mu.RUnlock()
+		return fleetOpResult{id: -1, err: fmt.Errorf("odinserve: server is draining")}
+	}
+	s.events <- event{op: op} //lint:allow lockflow -- send under RLock is the same admission/drain handshake as SubmitAs; dispatcher always drains events while any RLock holder can be admitting
+	s.mu.RUnlock()
+	return <-op.reply
+}
+
+// AddChip hot-adds a chip to the serving fleet and returns its id (ids
+// grow monotonically and are never reused). The chip is constructed on
+// the dispatcher goroutine, becomes routable for its model immediately,
+// and inherits the fleet's shared decision cache and tracer. Fails once
+// draining has begun.
+func (s *Server) AddChip(cc ChipConfig) (int, error) {
+	res := s.sendOp(&fleetOp{add: &cc})
+	return res.id, res.err
+}
+
+// RemoveChip drains and retires one chip: it stops receiving new work
+// immediately, every already-admitted request on its queue (and any batch
+// in flight) is executed and answered — the exactly-once contract holds
+// through removal — and its historical accumulators stay visible in Stats
+// and FleetInfo. Removing the last chip hosting a model makes later
+// arrivals for it routing errors (a simulated model outage).
+func (s *Server) RemoveChip(id int) error {
+	return s.sendOp(&fleetOp{remove: id}).err
+}
+
+// FleetInfo snapshots every chip (including removed ones) at the
+// dispatcher's current virtual time.
+func (s *Server) FleetInfo() ([]ChipInfo, error) {
+	res := s.sendOp(&fleetOp{info: true})
+	return res.info, res.err
+}
+
+// ChipInfo is one chip's row in a FleetInfo snapshot.
+type ChipInfo struct {
+	ID          int
+	Model       string
+	Removed     bool
+	Queue       int     // pending requests at snapshot time
+	Busy        bool    // a batch was in flight
+	Served      uint64  // requests served to completion
+	Batches     uint64  // batches executed
+	Reprograms  int     // write passes (forced + maintenance)
+	Age         float64 // device age at snapshot time
+	DeadlineAge float64 // forced-reprogram age (+Inf when drift never forces)
+	Degraded    bool    // reprogram budget exhausted
 }
 
 // Close stops admissions, drains every admitted request to completion, and
@@ -456,6 +731,7 @@ type ChipStat struct {
 	Energy        float64 // cumulative served energy (J)
 	Latency       float64 // cumulative chip-busy time (s)
 	Degraded      bool
+	Removed       bool // retired by RemoveChip before the drain
 }
 
 // Stats snapshots the fleet. Only safe after Close has returned (chip state
@@ -479,10 +755,22 @@ func (s *Server) Stats() []ChipStat {
 			Energy:        c.energySum,
 			Latency:       c.latencySum,
 			Degraded:      c.degraded,
+			Removed:       c.removed,
 		}
 	}
 	return out
 }
+
+// Draining reports whether Close has begun. Health endpoints use it to
+// fail readiness as soon as the server stops admitting.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// RouterName returns the routing policy the server was built with.
+func (s *Server) RouterName() string { return s.router.Name() }
 
 // Registry returns the metrics registry serving this fleet.
 func (s *Server) Registry() *telemetry.Registry { return s.cfg.Registry }

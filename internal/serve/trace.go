@@ -14,8 +14,9 @@ import (
 
 // Arrival is one entry of a synthetic load trace.
 type Arrival struct {
-	Time  float64 // seconds since trace start
-	Model string
+	Time   float64 // seconds since trace start
+	Model  string
+	Tenant string // admission class ("" = default); see Config.Tenants
 }
 
 // Trace is an arrival sequence in nondecreasing time order.
@@ -33,6 +34,10 @@ type TraceConfig struct {
 	Requests int
 	// Models is the request mix, drawn uniformly per arrival.
 	Models []string
+	// Tenants, when non-empty, stamps each arrival with a tenant drawn
+	// uniformly (one extra rng draw per arrival; tenant-free configs are
+	// bit-identical to traces generated before this field existed).
+	Tenants []string
 	// Start offsets the first arrival (default 0).
 	Start float64
 }
@@ -56,7 +61,11 @@ func GenTrace(cfg TraceConfig) (Trace, error) {
 		// Exponential gap; Float64 is in [0,1) so the argument is in (0,1].
 		t += -math.Log(1-src.Float64()) / cfg.Rate
 		model := cfg.Models[src.Intn(len(cfg.Models))]
-		tr = append(tr, Arrival{Time: t, Model: model})
+		a := Arrival{Time: t, Model: model}
+		if len(cfg.Tenants) > 0 {
+			a.Tenant = cfg.Tenants[src.Intn(len(cfg.Tenants))]
+		}
+		tr = append(tr, a)
 	}
 	return tr, nil
 }
@@ -70,6 +79,7 @@ type ReplayResult struct {
 	Admitted  int
 	Shed      int
 	Errors    int
+	Rejected  int // submissions rejected while draining (RejectedID sentinel)
 	Reprogram int // requests whose batch triggered a reprogramming pass
 
 	Energy  float64 // Σ per-request inference energy (J)
@@ -85,11 +95,48 @@ type ReplayResult struct {
 // collects every response. The server must have been built with clk as its
 // Clock and already started; Replay closes it when the trace is exhausted.
 func Replay(s *Server, clk *clock.Virtual, tr Trace) ReplayResult {
+	return ReplayOps(s, clk, tr, nil)
+}
+
+// FleetOp schedules one fleet mutation inside a replayed trace: before
+// arrival index After is submitted, the op is applied (Add when non-nil,
+// otherwise Remove). Interleaving ops with the arrival sequence this way
+// pins their order exactly, so churned replays stay byte-identical at
+// every worker count.
+type FleetOp struct {
+	After  int         // apply before submitting arrival After (0 = before the first)
+	Add    *ChipConfig // add a chip when non-nil
+	Remove int         // chip id to drain and remove when Add == nil
+}
+
+// ReplayOps is Replay with a fleet-op schedule (ops must be sorted by
+// After; After past the end applies after the last arrival). A failing op
+// panics: replay schedules are test/experiment infrastructure, and a
+// misconstructed one is a programming error, not a runtime condition.
+func ReplayOps(s *Server, clk *clock.Virtual, tr Trace, ops []FleetOp) ReplayResult {
+	next := 0
+	apply := func(i int) {
+		for next < len(ops) && ops[next].After <= i {
+			op := ops[next]
+			next++
+			var err error
+			if op.Add != nil {
+				_, err = s.AddChip(*op.Add)
+			} else {
+				err = s.RemoveChip(op.Remove)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("serve: replay fleet op %d: %v", next-1, err))
+			}
+		}
+	}
 	chans := make([]<-chan Response, len(tr))
 	for i, a := range tr {
+		apply(i)
 		clk.Set(a.Time)
-		chans[i] = s.Submit(a.Model)
+		chans[i] = s.SubmitAs(a.Model, a.Tenant)
 	}
+	apply(len(tr))
 	s.Close()
 
 	res := ReplayResult{Responses: make([]Response, len(tr))}
@@ -97,6 +144,8 @@ func Replay(s *Server, clk *clock.Virtual, tr Trace) ReplayResult {
 		r := <-chans[i]
 		res.Responses[i] = r
 		switch {
+		case r.Rejected:
+			res.Rejected++
 		case r.Err != "":
 			res.Errors++
 		case r.Shed:
@@ -131,7 +180,11 @@ func (r ReplayResult) WriteLog(w io.Writer) error {
 func writeLogLine(w io.Writer, resp *Response) error {
 	var sb strings.Builder
 	sb.WriteString("req=")
-	sb.WriteString(strconv.FormatUint(resp.ID, 10))
+	if resp.Rejected {
+		sb.WriteString("rejected")
+	} else {
+		sb.WriteString(strconv.FormatUint(resp.ID, 10))
+	}
 	switch {
 	case resp.Err != "":
 		sb.WriteString(" err=")
