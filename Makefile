@@ -92,7 +92,7 @@ loadsmoke:
 # 1024-chip trace from the CLI at 1 and 8 workers and require identical
 # decision-log checksums.
 fleetsmoke:
-	$(GO) test -race -run 'TestPropFleet|TestPropExactRouter|TestRemoveChip|TestAddChip|TestDriftRouter|TestTenant' ./internal/serve
+	$(GO) test -race -run 'TestPropFleet|TestPropExactRouter|TestRemoveChip|TestAddChip|TestLiveHotAdd|TestDriftRouter|TestTenant' ./internal/serve
 	@tmp=$$(mktemp -d); \
 	$(GO) run ./cmd/odinserve replay -models VGG11 -fleet 1024 -workers 1 -requests 2048 -router drift | grep '^checksum=' > $$tmp/w1.txt && \
 	$(GO) run ./cmd/odinserve replay -models VGG11 -fleet 1024 -workers 8 -requests 2048 -router drift | grep '^checksum=' > $$tmp/w8.txt && \

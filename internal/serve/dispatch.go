@@ -17,14 +17,18 @@ func (s *Server) dispatch() {
 		select {
 		case ev := <-s.events:
 			s.handle(ev)
-		case c := <-s.wake:
-			// Live mode only (workers never signal otherwise): a batch
-			// finished, so retire it and keep the chip busy with whatever is
-			// queued, without waiting for the next arrival. Clear the dedup
-			// flag before advancing, so a completion landing mid-advance
-			// re-arms the hint instead of being lost.
-			c.wakePending.Store(false)
-			s.onWake(c)
+		case <-s.wakec:
+			// Live mode only (workers never signal otherwise): one or more
+			// batches finished, so retire them and keep their chips busy with
+			// whatever is queued, without waiting for the next arrival. Clear
+			// each dedup flag before advancing, so a completion landing
+			// mid-advance re-arms the hint instead of being lost (the worker
+			// sends its result before the hint, so a CAS lost to the window
+			// between takeWoken and the Store is observed by the advance).
+			for _, c := range s.takeWoken() {
+				c.wakePending.Store(false)
+				s.onWake(c)
+			}
 		case ack := <-s.drainc:
 			// Every Submit completed before Close flipped draining, so the
 			// remaining admitted traffic is all buffered in events.
@@ -42,6 +46,19 @@ func (s *Server) dispatch() {
 			return
 		}
 	}
+}
+
+// takeWoken claims the current set of Live-mode completion hints. Chips
+// appear at most once (wakePending), in worker completion order; that
+// order only affects how eagerly queues refill, never batch composition,
+// which is a pure function of virtual time (and Live mode is outside the
+// replay determinism contract anyway).
+func (s *Server) takeWoken() []*chip {
+	s.wakeMu.Lock()
+	w := s.woken
+	s.woken = nil
+	s.wakeMu.Unlock()
+	return w
 }
 
 // handle demultiplexes one event-stream entry.
@@ -473,7 +490,8 @@ func (s *Server) advance(c *chip, t float64, block bool) {
 // a fleet grown past that can make the send block briefly until a worker
 // frees a slot — safe, because workers always drain: the per-chip results
 // channel (capacity 1, at most one batch in flight per chip) and the
-// dedup-guarded wake send never block a worker.
+// woken-set wake hint (mutex append + non-blocking 1-slot notify) never
+// block a worker, at any fleet size.
 func (s *Server) startBatch(c *chip, start float64, n int) {
 	reqs := make([]*Request, n)
 	copy(reqs, c.pending[:n])

@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"odin/internal/accuracy"
 	"odin/internal/clock"
@@ -296,6 +297,50 @@ func TestAddChipExpandsRouting(t *testing.T) {
 	}
 	if _, err := s.AddChip(ChipConfig{}); err == nil {
 		t.Error("AddChip with no model accepted")
+	}
+}
+
+// TestLiveHotAddFleetGrowthNoDeadlock regression-tests the Live-mode wake
+// path against hot fleet growth. The completion signal used to be a
+// channel sized to the seed fleet (one slot per NewServer chip); once
+// AddChip grew the fleet past that, concurrently finishing workers could
+// fill it and block on the wake send while the dispatcher blocked handing
+// the next batch to the (also seed-sized) jobs channel — with nothing
+// draining either channel, a permanent deadlock. The hint is now a
+// mutex-guarded woken set plus a non-blocking 1-slot notify, so the worker
+// side can never block at any fleet size. Grow a 1-chip seed fleet to 9
+// chips under concurrent load and require Close to return with every
+// submission answered.
+func TestLiveHotAddFleetGrowthNoDeadlock(t *testing.T) {
+	t.Parallel()
+	for round := 0; round < 5; round++ {
+		s, _ := tinyServer(t, 1, Config{QueueDepth: 64, MaxBatch: 2, Workers: 4, Live: true})
+		var chans []<-chan Response
+		for i := 0; i < 8; i++ {
+			if _, err := s.AddChip(ChipConfig{Custom: tinyModel("tiny")}); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 16; j++ {
+				chans = append(chans, s.Submit("tiny"))
+			}
+		}
+		closed := make(chan struct{})
+		go func() { s.Close(); close(closed) }()
+		select {
+		case <-closed:
+		case <-time.After(30 * time.Second):
+			t.Fatal("Close deadlocked after hot fleet growth in Live mode")
+		}
+		for i, ch := range chans {
+			select {
+			case r := <-ch:
+				if r.Err != "" {
+					t.Fatalf("round %d request %d errored: %q", round, i, r.Err)
+				}
+			default:
+				t.Fatalf("round %d request %d has no response after drain", round, i)
+			}
+		}
 	}
 }
 

@@ -217,12 +217,16 @@ type adminAddReply struct {
 
 // registerAdmin wires the fleet control plane. Handlers use Go 1.22
 // method+wildcard mux patterns, so mismatched methods get the mux's own
-// 405s.
+// 405s. Errors returned by the Server (AddChip/RemoveChip/FleetInfo)
+// already carry the "serve:" package prefix, so they are written through
+// verbatim; only handler-originated errors get the "odinserve:" prefix —
+// re-prefixing produced doubled messages like "odinserve: odinserve:
+// server is draining".
 func registerAdmin(mux *http.ServeMux, s *Server) {
 	mux.HandleFunc("GET /admin/fleet", func(w http.ResponseWriter, r *http.Request) {
 		info, err := s.FleetInfo()
 		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, "odinserve: %v", err)
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, info)
@@ -243,7 +247,7 @@ func registerAdmin(mux *http.ServeMux, s *Server) {
 			if strings.Contains(err.Error(), "draining") {
 				status = http.StatusServiceUnavailable
 			}
-			writeError(w, status, "odinserve: %v", err)
+			writeError(w, status, "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, adminAddReply{ID: id})
@@ -259,7 +263,7 @@ func registerAdmin(mux *http.ServeMux, s *Server) {
 			if strings.Contains(err.Error(), "draining") {
 				status = http.StatusServiceUnavailable
 			}
-			writeError(w, status, "odinserve: %v", err)
+			writeError(w, status, "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, struct {

@@ -231,11 +231,11 @@ type chip struct {
 	results  chan *batch
 	batches  uint64 // per-chip batch counter (deterministic batch ids)
 
-	// wakePending dedups Live-mode completion hints: true while a wake for
-	// this chip sits in s.wake (or is about to be sent). It bounds the wake
-	// channel to one entry per chip, so the worker's send can never block —
-	// in particular not during drain, when the dispatcher has stopped
-	// reading wakes. Shared between workers and the dispatcher (the only
+	// wakePending dedups Live-mode completion hints: true while a hint for
+	// this chip sits in s.woken (or is about to be appended). It bounds the
+	// woken set to one entry per chip, so the set stays fleet-sized even
+	// when batches retired through the arrival path leave their hints
+	// unconsumed. Shared between workers and the dispatcher (the only
 	// chip field touched outside the results-channel handoff).
 	wakePending atomic.Bool
 
@@ -408,8 +408,16 @@ type Server struct {
 
 	events chan event
 	jobs   chan *batch
-	wake   chan *chip // Live mode: completion signals (≤1 outstanding per chip)
 	drainc chan chan struct{}
+
+	// Live-mode completion hints. Workers append the finished chip to
+	// woken (deduplicated by chip.wakePending) and nudge the 1-slot wakec
+	// with a non-blocking send; neither step can block, whatever the fleet
+	// size, so hot fleet growth (AddChip past the seed sizing) and drain
+	// (when the dispatcher stops sweeping hints) never wedge a worker.
+	wakeMu sync.Mutex
+	woken  []*chip
+	wakec  chan struct{}
 
 	mu       sync.RWMutex // guards draining against concurrent Submits
 	draining bool
@@ -463,7 +471,7 @@ func NewServer(cfg Config) (*Server, error) {
 		models:  make(map[string]int),
 		events:  make(chan event, 64+len(cfg.Chips)*cfg.QueueDepth),
 		jobs:    make(chan *batch, len(cfg.Chips)),
-		wake:    make(chan *chip, len(cfg.Chips)),
+		wakec:   make(chan struct{}, 1),
 		drainc:  make(chan chan struct{}),
 	}
 	router, err := newRouter(cfg)
@@ -629,7 +637,7 @@ func (s *Server) sendOp(op *fleetOp) fleetOpResult {
 	s.mu.RLock()
 	if !s.started || s.draining {
 		s.mu.RUnlock()
-		return fleetOpResult{id: -1, err: fmt.Errorf("odinserve: server is draining")}
+		return fleetOpResult{id: -1, err: fmt.Errorf("serve: server is draining")}
 	}
 	s.events <- event{op: op} //lint:allow lockflow -- send under RLock is the same admission/drain handshake as SubmitAs; dispatcher always drains events while any RLock holder can be admitting
 	s.mu.RUnlock()
@@ -707,14 +715,22 @@ func (s *Server) worker() {
 		b.rep = b.chip.ctrl.RunBatch(b.start, len(b.reqs))
 		b.chip.results <- b
 		if s.cfg.Live {
-			// Wakes are hints, deduplicated per chip: batches retired through
-			// the arrival path leave their wake unconsumed, so without dedup
-			// stale wakes would fill the channel and this send would block —
-			// fatal during drain, when the dispatcher reads results directly
-			// and never drains wakes. The flag keeps at most one wake per
-			// chip in the channel, so the send never blocks.
+			// Wakes are hints, deduplicated per chip (wakePending bounds the
+			// woken set to one entry per chip). The append and the 1-slot
+			// notify are both non-blocking — crucially independent of fleet
+			// size, unlike the former per-chip-capacity wake channel, which a
+			// hot-grown fleet could fill until workers blocked here while the
+			// dispatcher blocked in startBatch's jobs send: deadlock. A full
+			// wakec just means a sweep is already pending; the dispatcher
+			// claims the whole woken set per notify.
 			if b.chip.wakePending.CompareAndSwap(false, true) {
-				s.wake <- b.chip
+				s.wakeMu.Lock()
+				s.woken = append(s.woken, b.chip)
+				s.wakeMu.Unlock()
+				select {
+				case s.wakec <- struct{}{}:
+				default:
+				}
 			}
 		}
 	}
