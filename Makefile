@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint lintfix-audit test race bench benchsmoke check loadsmoke fleetsmoke parsmoke obssmoke optsmoke cachesmoke ci
+.PHONY: all build fmt vet lint lintfix-audit test race bench benchsmoke check loadsmoke fleetsmoke parsmoke obssmoke optsmoke cachesmoke pulsesmoke ci
 
 all: ci
 
@@ -153,4 +153,22 @@ cachesmoke:
 	cmp $$tmp/on1.txt $$tmp/on4.txt && \
 	rm -rf $$tmp
 
-ci: build fmt vet lint test race benchsmoke check loadsmoke fleetsmoke parsmoke obssmoke optsmoke cachesmoke
+# Streaming-telemetry gate: race-check the pulse bus/series package and its
+# serve wiring (SSE surface, statusz, canonical-log worker invariance), run
+# the `odinserve watch` dashboard end to end against a live HTTP server, arm
+# the disabled-overhead guard (nil bus must stay one pointer test per
+# publish site), then prove the headline contract from the CLI: the
+# canonical pulse event log of a churn-free replay is byte-identical at 1
+# and 8 workers.
+pulsesmoke:
+	$(GO) test -race ./internal/pulse/...
+	$(GO) test -race -run 'TestPulse|TestPropPulse|TestHTTPEvents|TestHTTPStatusz|TestErrDraining|TestHTTPAdmin|TestHTTPHealthz' ./internal/serve
+	$(GO) test -race -run 'TestWatch|TestReadSSE|TestInfFloat' ./cmd/odinserve
+	ODIN_PULSE_GUARD=1 $(GO) test -count=1 -run TestDisabledPulseOverheadGuard .
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/odinserve replay -models VGG11 -fleet 8 -workers 1 -requests 256 -router drift -pulse-log $$tmp/w1.log > /dev/null && \
+	$(GO) run ./cmd/odinserve replay -models VGG11 -fleet 8 -workers 8 -requests 256 -router drift -pulse-log $$tmp/w8.log > /dev/null && \
+	cmp $$tmp/w1.log $$tmp/w8.log && \
+	rm -rf $$tmp
+
+ci: build fmt vet lint test race benchsmoke check loadsmoke fleetsmoke parsmoke obssmoke optsmoke cachesmoke pulsesmoke

@@ -5,6 +5,7 @@
 //
 //	odinserve replay [flags]   # deterministic load replay on a virtual clock
 //	odinserve serve  [flags]   # live HTTP serving on the real clock
+//	odinserve watch  [flags]   # live terminal fleet dashboard over GET /events
 //
 // replay generates a Poisson arrival trace from internal/rng, drives it
 // through a fresh fleet, and prints aggregate figures plus an FNV-1a
@@ -18,12 +19,19 @@
 // JSON, loadable in chrome://tracing or Perfetto. The dump is byte-identical
 // for a given trace and seed regardless of -workers.
 //
+// replay -pulse-log FILE captures the streaming-telemetry event log
+// (internal/pulse) of the replay: one canonical JSON object per line,
+// ordered by (virtual time, chip, kind) — byte-identical for a given trace
+// and seed regardless of -workers (`make pulsesmoke` pins this).
+//
 // serve exposes the fleet over HTTP via serve.NewHandlerOpts:
 //
 //	POST /infer              JSON body {"model":NAME,"count":N} or ?model=NAME
 //	GET  /metrics            Prometheus text exposition
 //	GET  /healthz            liveness probe (503 once draining)
 //	GET  /debug/trace        Chrome trace-event span ring dump (-trace N)
+//	GET  /events             live SSE telemetry stream (-pulse N, on by default)
+//	GET  /statusz            JSON fleet series snapshot (-pulse N)
 //	GET  /debug/pprof/       net/http/pprof suite (only with -debug)
 //	/admin/...               fleet control plane (only with -admin):
 //	                         GET /admin/fleet, POST /admin/chips,
@@ -53,6 +61,7 @@ import (
 	"odin/internal/dnn"
 	"odin/internal/obs"
 	"odin/internal/policy"
+	"odin/internal/pulse"
 	"odin/internal/serve"
 	"odin/internal/telemetry"
 )
@@ -74,6 +83,8 @@ func run(args []string) error {
 		return runReplay(args[1:])
 	case "serve":
 		return runServe(args[1:])
+	case "watch":
+		return runWatch(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -83,9 +94,10 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Println("usage: odinserve replay|serve [flags]")
+	fmt.Println("usage: odinserve replay|serve|watch [flags]")
 	fmt.Println("  replay  deterministic load replay on a virtual clock (-h for flags)")
 	fmt.Println("  serve   live HTTP serving on the real clock (-h for flags)")
+	fmt.Println("  watch   live terminal fleet dashboard over GET /events (-h for flags)")
 }
 
 // fleetFlags are the chip/queue knobs shared by both subcommands.
@@ -218,6 +230,7 @@ func runReplay(args []string) error {
 	maxShed := fs.Int("max-shed", -1, "fail when more than this many requests shed (-1 = no check)")
 	dumpLog := fs.Bool("log", false, "print the per-request decision log")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON span dump of the replay to this file")
+	pulseOut := fs.String("pulse-log", "", "write the canonical pulse event log of the replay to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -245,7 +258,7 @@ func runReplay(args []string) error {
 		return err
 	}
 
-	res, spans, err := replayFresh(cfg, tr, *traceOut != "")
+	res, spans, bus, err := replayFresh(cfg, tr, *traceOut != "", *pulseOut != "")
 	if err != nil {
 		return err
 	}
@@ -278,9 +291,23 @@ func runReplay(args []string) error {
 		}
 		fmt.Printf("trace: %d spans written to %s\n", spans.Len(), *traceOut)
 	}
+	if *pulseOut != "" {
+		f, err := os.Create(*pulseOut)
+		if err != nil {
+			return err
+		}
+		if err := bus.WriteLog(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("pulse: %d events written to %s\n", bus.LastSeq(), *pulseOut)
+	}
 
 	if *verify {
-		again, _, err := replayFresh(cfg, tr, false)
+		again, _, _, err := replayFresh(cfg, tr, false, false)
 		if err != nil {
 			return err
 		}
@@ -296,20 +323,24 @@ func runReplay(args []string) error {
 }
 
 // replayFresh builds a fresh fleet (its own virtual clock and registry) and
-// replays the trace through it, optionally recording spans.
-func replayFresh(cfg serve.Config, tr serve.Trace, traced bool) (serve.ReplayResult, *obs.Tracer, error) {
+// replays the trace through it, optionally recording spans and pulse
+// events (unbounded ring, so the whole log survives for WriteLog).
+func replayFresh(cfg serve.Config, tr serve.Trace, traced, pulsed bool) (serve.ReplayResult, *obs.Tracer, *pulse.Bus, error) {
 	clk := clock.NewVirtual(0)
 	cfg.Clock = clk
 	cfg.Registry = telemetry.NewRegistry()
 	if traced {
 		cfg.Tracer = obs.New(clk)
 	}
+	if pulsed {
+		cfg.Pulse = pulse.New(pulse.Options{Registry: cfg.Registry})
+	}
 	s, err := serve.NewServer(cfg)
 	if err != nil {
-		return serve.ReplayResult{}, nil, err
+		return serve.ReplayResult{}, nil, nil, err
 	}
 	s.Start()
-	return serve.Replay(s, clk, tr), cfg.Tracer, nil
+	return serve.Replay(s, clk, tr), cfg.Tracer, cfg.Pulse, nil
 }
 
 func runServe(args []string) error {
@@ -320,6 +351,9 @@ func runServe(args []string) error {
 		"expose the fleet control plane under /admin/ (hot add/remove; off by default)")
 	debug := fs.Bool("debug", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	traceCap := fs.Int("trace", 4096, "span ring capacity behind GET /debug/trace (0 disables tracing)")
+	pulseCap := fs.Int("pulse", 8192,
+		"event ring capacity behind GET /events and /statusz (0 disables streaming telemetry)")
+	pulseInterval := fs.Float64("pulse-interval", 1, "pulse series bucket width in seconds")
 	verbose := fs.Bool("v", false, "log serve events (chip degradation, drain) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -331,10 +365,18 @@ func runServe(args []string) error {
 		return err
 	}
 	cfg.Live = true
+	cfg.Registry = telemetry.NewRegistry()
 	var spans *obs.Tracer
 	if *traceCap > 0 {
 		spans = obs.NewRing(clk, *traceCap)
 		cfg.Tracer = spans
+	}
+	if *pulseCap > 0 {
+		// The bus shares the fleet's registry, so odin_pulse_* meters land
+		// on GET /metrics next to the odinserve_* families.
+		cfg.Pulse = pulse.New(pulse.Options{
+			Ring: *pulseCap, Interval: *pulseInterval, Registry: cfg.Registry,
+		})
 	}
 	if *verbose {
 		cfg.Logger = slog.New(obs.NewLogHandler(os.Stderr, clk, slog.LevelInfo))

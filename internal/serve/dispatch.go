@@ -3,8 +3,11 @@ package serve
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"odin/internal/obs"
+	"odin/internal/pulse"
 )
 
 // dispatch is the single goroutine that owns all routing, admission,
@@ -88,6 +91,12 @@ func (s *Server) handleOp(op *fleetOp) {
 		s.modelsMu.Unlock()
 		s.met.chipsAdded.Inc()
 		s.met.fleetChips.Set(float64(s.liveChips()))
+		if p := s.cfg.Pulse; p.Enabled() {
+			// Ops ride the dispatcher's event stream, so s.lastT (the last
+			// arrival's time) is the op's deterministic virtual position.
+			p.Publish(pulse.Event{Kind: pulse.KindLifecycle, Time: s.lastT,
+				Chip: c.id, Model: c.model, Action: "add", Fleet: s.liveChips()})
+		}
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Info("chip added", "chip", c.id, "model", c.model)
 		}
@@ -145,6 +154,10 @@ func (s *Server) removeChip(id int) error {
 	s.met.chipsRemoved.Inc()
 	s.met.fleetChips.Set(float64(s.liveChips()))
 	s.met.chipDepth.With(c.label).Set(0)
+	if p := s.cfg.Pulse; p.Enabled() {
+		p.Publish(pulse.Event{Kind: pulse.KindLifecycle, Time: s.lastT,
+			Chip: c.id, Model: c.model, Action: "remove", Fleet: s.liveChips()})
+	}
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Info("chip removed", "chip", c.id, "model", c.model,
 			"served", c.served)
@@ -232,6 +245,10 @@ func (s *Server) process(req *Request) {
 					obs.Int64("request", int64(req.ID)),
 					obs.String("tenant", ten.label))
 			}
+			if p := s.cfg.Pulse; p.Enabled() {
+				p.Publish(pulse.Event{Kind: pulse.KindShed, Time: t, Chip: -1,
+					Model: req.Model, Request: req.ID, Reason: "quota", Tenant: ten.label})
+			}
 			req.respond(Response{ID: req.ID, Chip: -1, Shed: true})
 			return
 		}
@@ -300,6 +317,14 @@ func (s *Server) process(req *Request) {
 				obs.Int64("request", int64(req.ID)),
 				obs.String("model", req.Model))
 		}
+		if p := s.cfg.Pulse; p.Enabled() {
+			ev := pulse.Event{Kind: pulse.KindShed, Time: t, Chip: c.id,
+				Model: req.Model, Request: req.ID, Reason: "queue"}
+			if s.tenantsOn {
+				ev.Tenant = req.ten.label
+			}
+			p.Publish(ev)
+		}
 		req.respond(Response{ID: req.ID, Chip: c.id, Shed: true})
 		return
 	}
@@ -352,6 +377,14 @@ func (s *Server) evictFor(c *chip, req *Request, t float64) {
 		tr.At("evict", c.id, t, t, nil,
 			obs.Int64("request", int64(victim.ID)),
 			obs.Int64("by", int64(req.ID)))
+	}
+	if p := s.cfg.Pulse; p.Enabled() {
+		ev := pulse.Event{Kind: pulse.KindShed, Time: t, Chip: c.id,
+			Model: victim.Model, Request: victim.ID, Reason: "evict"}
+		if victim.ten != nil {
+			ev.Tenant = victim.ten.label
+		}
+		p.Publish(ev)
 	}
 	victim.respond(Response{ID: victim.ID, Chip: c.id, Shed: true})
 }
@@ -406,6 +439,13 @@ func (s *Server) maintainHosts(hosts []*chip, t float64) {
 		s.met.maintenance.Inc()
 		s.met.chipReprogram.With(c.label).Inc()
 		s.met.chipEnergy.With(c.label).Set(c.energySum)
+		if p := s.cfg.Pulse; p.Enabled() {
+			// Maintenance runs on the exact path (blocking advance done), so
+			// controller reads here are deterministic and race-free.
+			p.Publish(pulse.Event{Kind: pulse.KindReprogram, Time: t, Chip: c.id,
+				Model: c.model, Pass: "maintenance", Count: c.ctrl.Reprograms(),
+				Age: c.ctrl.Age(t)})
+		}
 		s.noteReprogram(c)
 	}
 }
@@ -499,6 +539,19 @@ func (s *Server) startBatch(c *chip, start float64, n int) {
 	c.pending = c.pending[:len(c.pending)-n]
 
 	b := &batch{chip: c, id: c.batches, start: start, reqs: reqs}
+	if s.cfg.Pulse.Enabled() {
+		// Backlog left behind at the batch's start — the pending prefix
+		// with arrival <= start (pending is FIFO in clamped arrival order,
+		// so the first later arrival ends the count). A pure function of
+		// virtual time, unlike len(pending) at result observation; see the
+		// batch.depth comment.
+		for _, r := range c.pending {
+			if r.Arrival > start {
+				break
+			}
+			b.depth++
+		}
+	}
 	c.batches++
 	c.inflight = b
 	s.met.batches.Inc()
@@ -554,6 +607,29 @@ func (s *Server) finishBatch(b *batch) {
 	c.energySum += rep.BatchEnergy()
 	c.latencySum += rep.BatchLatency()
 	s.met.chipEnergy.With(c.label).Set(c.energySum)
+	if p := s.cfg.Pulse; p.Enabled() {
+		// Everything on the event is a pure function of the batch: its
+		// virtual start/finish, the deterministic report, the start-time
+		// backlog (b.depth), and the controller's post-batch drift state —
+		// the next batch cannot have run (one in flight per chip), and
+		// maintenance passes require an idle chip, so Age/Reprograms here
+		// are the chip's exact state after batch b regardless of when the
+		// dispatcher observed the result.
+		ev := pulse.Event{Kind: pulse.KindBatch, Time: b.finish, Chip: c.id,
+			Model: c.model, Batch: b.id, Size: len(b.reqs), Queue: b.depth,
+			Latency: rep.BatchLatency(), Energy: rep.BatchEnergy(),
+			Age: c.ctrl.Age(b.finish), Deadline: c.ctrl.ForcedReprogramAge(),
+			Reprogram: rep.Reprogrammed}
+		if s.tenantsOn {
+			ev.Tenant = batchTenants(b.reqs)
+		}
+		p.Publish(ev)
+		if rep.Reprogrammed {
+			p.Publish(pulse.Event{Kind: pulse.KindReprogram, Time: b.finish,
+				Chip: c.id, Model: c.model, Pass: "forced",
+				Count: c.ctrl.Reprograms(), Age: c.ctrl.Age(b.finish)})
+		}
+	}
 	if rep.PolicyUpdated {
 		s.met.chipUpdates.With(c.label).Inc()
 	}
@@ -562,6 +638,27 @@ func (s *Server) finishBatch(b *batch) {
 		s.met.reprogramOnPath.Add(uint64(len(b.reqs)))
 		s.noteReprogram(c)
 	}
+}
+
+// batchTenants renders the batch's distinct rider tenant labels, sorted —
+// deterministic because it depends only on batch composition.
+func batchTenants(reqs []*Request) string {
+	var labels []string
+	for _, r := range reqs {
+		l := tenantLabel(r.Tenant)
+		seen := false
+		for _, s := range labels {
+			if s == l {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			labels = append(labels, l)
+		}
+	}
+	sort.Strings(labels)
+	return strings.Join(labels, ",")
 }
 
 // flush drains the whole fleet: every admitted request is executed and

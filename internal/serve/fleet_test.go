@@ -494,7 +494,7 @@ func TestDriftRouterSteersAwayFromLoadedNearChip(t *testing.T) {
 	}
 	// Back-date chip 1 so its age hits margin·deadline at t = lat — after
 	// the t=0 burst has loaded it, before the burst drains.
-	programmedAt := -(defaultDriftMargin*deadline - sys.Device.T0 - lat)
+	programmedAt := -(DefaultDriftMargin*deadline - sys.Device.T0 - lat)
 
 	clk := clock.NewVirtual(0)
 	cfg := Config{Clock: clk, QueueDepth: 8, Router: "drift", System: &sys,

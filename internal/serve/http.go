@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"strings"
 
 	"odin/internal/obs"
+	"odin/internal/pulse"
 )
 
 // maxInferBody bounds /infer request bodies. Inference submissions are a
@@ -108,6 +110,8 @@ type HandlerOptions struct {
 //
 //	GET /debug/trace    Chrome trace-event JSON span dump (opts.Tracer set)
 //	GET /debug/pprof/   net/http/pprof profiling suite (opts.Debug set)
+//	GET /events         live SSE telemetry stream (Config.Pulse set)
+//	GET /statusz        JSON fleet series snapshot (Config.Pulse set)
 //
 // The pprof handlers are registered explicitly on the returned mux — the
 // package's DefaultServeMux side-effect registrations are never served.
@@ -124,6 +128,10 @@ func NewHandlerOpts(s *Server, opts HandlerOptions) http.Handler {
 		fmt.Fprint(w, sb.String())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Explicit Content-Type before any write: the sniffing default is
+		// what the PR-2 /infer fix removed, and it must be set before
+		// WriteHeader on the 503 path or it is silently dropped.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		// Fail readiness the moment Close flips draining: /infer already
 		// answers 503, and a healthy-looking drainer would keep fleet
 		// front-ends routing traffic at a server that rejects it.
@@ -134,6 +142,9 @@ func NewHandlerOpts(s *Server, opts HandlerOptions) http.Handler {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	if s.cfg.Pulse.Enabled() {
+		registerPulse(mux, s)
+	}
 	if opts.Admin {
 		registerAdmin(mux, s)
 	}
@@ -244,7 +255,7 @@ func registerAdmin(mux *http.ServeMux, s *Server) {
 		id, err := s.AddChip(ChipConfig{Model: req.Model, Seed: req.Seed})
 		if err != nil {
 			status := http.StatusBadRequest
-			if strings.Contains(err.Error(), "draining") {
+			if errors.Is(err, ErrDraining) {
 				status = http.StatusServiceUnavailable
 			}
 			writeError(w, status, "%v", err)
@@ -260,7 +271,7 @@ func registerAdmin(mux *http.ServeMux, s *Server) {
 		}
 		if err := s.RemoveChip(id); err != nil {
 			status := http.StatusNotFound
-			if strings.Contains(err.Error(), "draining") {
+			if errors.Is(err, ErrDraining) {
 				status = http.StatusServiceUnavailable
 			}
 			writeError(w, status, "%v", err)
@@ -269,6 +280,104 @@ func registerAdmin(mux *http.ServeMux, s *Server) {
 		writeJSON(w, http.StatusOK, struct {
 			Removed int `json:"removed"`
 		}{Removed: id})
+	})
+}
+
+// registerPulse wires the streaming-telemetry surfaces, registered only
+// when Config.Pulse carries a bus:
+//
+//	GET /events    Server-Sent Events stream of pulse events. ?types=a,b
+//	               filters by kind; Last-Event-ID (or ?last_id=N) resumes
+//	               from the bus's ring, best-effort — events older than
+//	               the ring are gone, reported as a comment frame.
+//	GET /statusz   one JSON snapshot of every chip's series tail.
+//
+// The stream carries no keepalive timer: serve code never reads a wall
+// clock (the clockonly contract), so idle-connection hygiene belongs to
+// proxies or the consumer, and `odinserve watch` simply blocks on read.
+func registerPulse(mux *http.ServeMux, s *Server) {
+	p := s.cfg.Pulse
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Router   string `json:"router"`
+			Draining bool   `json:"draining"`
+			pulse.Status
+		}{s.RouterName(), s.Draining(), p.Snapshot()})
+	})
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		kinds := pulse.AllKinds
+		if spec := r.URL.Query().Get("types"); spec != "" {
+			ks, err := pulse.ParseKinds(spec)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "odinserve: %v", err)
+				return
+			}
+			kinds = ks
+		}
+		var last uint64
+		if v := r.Header.Get("Last-Event-ID"); v == "" {
+			v = r.URL.Query().Get("last_id")
+			if v != "" {
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, "odinserve: last_id %q is not a number", v)
+					return
+				}
+				last = n
+			}
+		} else {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "odinserve: Last-Event-ID %q is not a number", v)
+				return
+			}
+			last = n
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			writeError(w, http.StatusInternalServerError, "odinserve: streaming unsupported by this connection")
+			return
+		}
+		// Subscribe before the ring backfill, then dedup on sequence
+		// numbers: an event published between the two shows up in both, and
+		// the Seq <= last skip drops the channel copy.
+		sub := p.Subscribe(256, kinds)
+		defer sub.Close()
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		var buf []byte
+		if oldest := p.Since(0, pulse.AllKinds); last > 0 && len(oldest) > 0 && oldest[0].Seq > last+1 {
+			fmt.Fprintf(w, ": resume gap, %d events evicted\n\n", oldest[0].Seq-last-1)
+		}
+		for _, e := range p.Since(last, kinds) {
+			buf = e.AppendSSE(buf[:0])
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			last = e.Seq
+		}
+		fl.Flush()
+		ctx := r.Context()
+		for {
+			select {
+			case e := <-sub.C():
+				if e.Seq <= last {
+					continue
+				}
+				if n := sub.TakeDropped(); n > 0 {
+					fmt.Fprintf(w, ": dropped %d events (slow consumer)\n\n", n)
+				}
+				buf = e.AppendSSE(buf[:0])
+				if _, err := w.Write(buf); err != nil {
+					return
+				}
+				last = e.Seq
+				fl.Flush()
+			case <-ctx.Done():
+				return
+			}
+		}
 	})
 }
 
@@ -305,8 +414,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for i, ch := range chans {
 		resp := <-ch
 		reply.Responses[i] = resp
-		if strings.Contains(resp.Err, "draining") {
-			writeError(w, http.StatusServiceUnavailable, "odinserve: server is draining")
+		if resp.Rejected {
+			writeError(w, http.StatusServiceUnavailable, "odinserve: %v", ErrDraining)
 			return
 		}
 		allShed = allShed && resp.Shed

@@ -189,6 +189,9 @@ func TestHTTPMetricsAndHealthz(t *testing.T) {
 	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "ok" {
 		t.Fatalf("/healthz = %d %q", rec.Code, rec.Body.String())
 	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Fatalf("/healthz Content-Type %q, want explicit text/plain; charset=utf-8", ct)
+	}
 }
 
 // TestServerModelAccessors pins the fleet-introspection accessors the HTTP
@@ -233,6 +236,9 @@ func TestHTTPHealthzDraining(t *testing.T) {
 	}
 	if !strings.Contains(rec.Body.String(), "draining") {
 		t.Fatalf("draining /healthz body %q does not say draining", rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Fatalf("draining /healthz Content-Type %q, want explicit text/plain; charset=utf-8", ct)
 	}
 }
 
@@ -312,7 +318,34 @@ func TestHTTPAdminFleet(t *testing.T) {
 	if rec := do(http.MethodPost, "/admin/chips", `{"model":"VGG11"}`); rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("add while draining = %d, want 503", rec.Code)
 	}
+	if rec := do(http.MethodDelete, "/admin/chips/0", ""); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("remove while draining = %d, want 503", rec.Code)
+	}
 	if rec := do(http.MethodGet, "/admin/fleet", ""); rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("fleet snapshot while draining = %d, want 503", rec.Code)
+	}
+}
+
+// TestHTTPAdminMethodNotAllowed pins the 405 contract of the control
+// plane: the admin routes are registered with Go 1.22 method patterns, so
+// a wrong verb on a known path answers 405, not 404.
+func TestHTTPAdminMethodNotAllowed(t *testing.T) {
+	t.Parallel()
+	s, _ := tinyServer(t, 1, Config{})
+	defer s.Close()
+	h := NewHandlerOpts(s, HandlerOptions{Admin: true})
+	for _, tc := range []struct{ method, target string }{
+		{http.MethodPost, "/admin/fleet"},
+		{http.MethodDelete, "/admin/fleet"},
+		{http.MethodGet, "/admin/chips"},
+		{http.MethodDelete, "/admin/chips"},
+		{http.MethodPost, "/admin/chips/0"},
+		{http.MethodGet, "/admin/chips/0"},
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.target, strings.NewReader("{}")))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", tc.method, tc.target, rec.Code)
+		}
 	}
 }

@@ -61,15 +61,17 @@ var routerFactories = map[string]RouterFactory{
 	"drift": func(cfg Config) Router {
 		m := cfg.DriftMargin
 		if m <= 0 || m >= 1 {
-			m = defaultDriftMargin
+			m = DefaultDriftMargin
 		}
 		return driftAware{margin: m}
 	},
 }
 
-// defaultDriftMargin is the fraction of a chip's forced-reprogram deadline
-// at which the drift-aware router starts steering arrivals away from it.
-const defaultDriftMargin = 0.85
+// DefaultDriftMargin is the fraction of a chip's forced-reprogram deadline
+// at which the drift-aware router starts steering arrivals away from it
+// (Config.DriftMargin overrides it). Exported so dashboards (`odinserve
+// watch`) can compute the same near-deadline verdict client-side.
+const DefaultDriftMargin = 0.85
 
 // RegisterRouter adds a routing policy to the registry. Call from init;
 // registering a taken name is a programming error.

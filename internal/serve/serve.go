@@ -47,6 +47,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"strconv"
@@ -60,8 +61,15 @@ import (
 	"odin/internal/obs"
 	"odin/internal/ou"
 	"odin/internal/policy"
+	"odin/internal/pulse"
 	"odin/internal/telemetry"
 )
+
+// ErrDraining is the sentinel inside every error returned for submissions
+// and fleet operations refused because Close has begun. Check it with
+// errors.Is — the HTTP layer maps it to 503 — instead of matching message
+// text.
+var ErrDraining = errors.New("server is draining")
 
 // RejectedID is the sentinel Response.ID of a submission rejected before
 // it ever entered the dispatcher (Submit after Close has flipped
@@ -193,6 +201,14 @@ type Config struct {
 	// nil disables logging. Pair it with obs.NewLogHandler over the same
 	// Clock for deterministic timestamps.
 	Logger *slog.Logger
+	// Pulse, when non-nil, receives streaming telemetry events (batch
+	// retirements, decision summaries, reprogram passes, lifecycle, sheds)
+	// and powers GET /events and GET /statusz. Every published field is a
+	// pure function of virtual time and per-chip batch order, so replayed
+	// event logs are byte-identical at any worker count — see
+	// internal/pulse's package comment for the contract. nil disables
+	// publishing at the cost of one pointer test per site.
+	Pulse *pulse.Bus
 	// System is the simulated platform; nil uses core.DefaultSystem.
 	System *core.System
 	// Controller tunes each chip's online-learning loop.
@@ -270,6 +286,15 @@ type batch struct {
 	rep    core.BatchReport
 	done   bool    // dispatcher observed the result
 	finish float64 // start + rep.BatchLatency(), valid once done
+
+	// depth is the backlog left behind at the batch's start: pending
+	// requests with arrival <= start that did not coalesce (beyond
+	// MaxBatch). Captured in startBatch because it is a pure function of
+	// virtual time there — unlike len(pending) at result observation,
+	// which depends on how eagerly completions were observed — so the
+	// pulse batch event stays worker-count invariant. Only computed when
+	// a pulse bus is attached.
+	depth int
 }
 
 // metrics bundles the serve-path instrumentation.
@@ -505,6 +530,10 @@ func NewServer(cfg Config) (*Server, error) {
 		s.chips = append(s.chips, c)
 		s.byModel[c.model] = append(s.byModel[c.model], c)
 		s.models[c.model]++
+		// Seed chips get a series row without a lifecycle event: they are
+		// configuration, not churn, so they appear in /statusz from the
+		// start while replay event logs stay free of construction noise.
+		s.cfg.Pulse.Register(c.id, c.model)
 	}
 	s.met.fleetChips.Set(float64(len(s.chips)))
 	return s, nil
@@ -567,6 +596,19 @@ func (s *Server) newChip(id int, cc ChipConfig) (*chip, error) {
 	if s.cfg.Tracer != nil {
 		opts.Tracer, opts.TraceTrack = s.cfg.Tracer, id
 	}
+	if p := s.cfg.Pulse; p.Enabled() && opts.Audit == nil {
+		// Lift per-run decision summaries onto the pulse bus via the
+		// controller's existing audit hook. The tap runs on the worker
+		// executing the batch; the published fields are byte-identical
+		// cached or uncached (see pulse.DecisionEvent), so decision events
+		// replay worker-count invariant. Callers who bring their own
+		// AuditLog keep it — decision events are then absent rather than
+		// double-recorded.
+		chipID, chipModel := id, name
+		opts.Audit = obs.NewAuditLogTap(1, func(r obs.RunAudit) {
+			p.Publish(pulse.DecisionEvent(chipID, chipModel, r))
+		})
+	}
 	pol := policy.New(policy.Config{Grid: s.sys.Grid(), Seed: seed})
 	ctrl, err := core.NewController(s.sys, wl, pol, opts)
 	if err != nil {
@@ -615,8 +657,14 @@ func (s *Server) SubmitAs(model, tenant string) <-chan Response {
 		s.mu.RUnlock()
 		s.met.requests.Inc()
 		s.met.rejected.Inc()
+		if p := s.cfg.Pulse; p.Enabled() {
+			// Live-only by construction: Replay finishes submitting before
+			// Close, so rejection events never appear in replay logs.
+			p.Publish(pulse.Event{Kind: pulse.KindShed, Time: req.Arrival,
+				Chip: -1, Model: model, Tenant: tenant, Reason: "reject"})
+		}
 		req.respond(Response{ID: RejectedID, Chip: -1, Rejected: true,
-			Err: "odinserve: server is draining"})
+			Err: "odinserve: " + ErrDraining.Error()})
 		return done
 	}
 	// The send must complete under the read lock: Close takes the write lock
@@ -637,7 +685,7 @@ func (s *Server) sendOp(op *fleetOp) fleetOpResult {
 	s.mu.RLock()
 	if !s.started || s.draining {
 		s.mu.RUnlock()
-		return fleetOpResult{id: -1, err: fmt.Errorf("serve: server is draining")}
+		return fleetOpResult{id: -1, err: fmt.Errorf("serve: %w", ErrDraining)}
 	}
 	s.events <- event{op: op} //lint:allow lockflow -- send under RLock is the same admission/drain handshake as SubmitAs; dispatcher always drains events while any RLock holder can be admitting
 	s.mu.RUnlock()

@@ -62,6 +62,26 @@ type Histogram struct {
 	n      atomic.Uint64
 }
 
+// NewHistogram builds a standalone histogram (not attached to any
+// Registry) with the given ascending upper bucket bounds (+Inf implicit
+// and must not be listed). Consumers that need local quantile estimation —
+// per-bucket series in internal/pulse, client-side dashboards — use this
+// instead of registering a throwaway family.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds not strictly ascending")
+		}
+	}
+	if len(bounds) > 0 && math.IsInf(bounds[len(bounds)-1], 1) {
+		panic("telemetry: histogram bounds list +Inf; it is implicit")
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	// First bucket whose upper bound is >= v; beyond the last bound the
@@ -250,10 +270,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	}
 	f := r.register(name, help, kindHistogram)
 	if f.hist == nil {
-		f.hist = &Histogram{
-			bounds: append([]float64(nil), bounds...),
-			counts: make([]atomic.Uint64, len(bounds)+1),
-		}
+		f.hist = NewHistogram(bounds)
 	}
 	return f.hist
 }

@@ -190,3 +190,40 @@ func TestRegistryPanicsOnBadName(t *testing.T) {
 	}()
 	NewRegistry().Counter("9bad name", "")
 }
+
+// TestNewHistogramStandalone pins the registry-free constructor pulse uses
+// for its per-bucket series histograms: same bound validation as
+// Registry.Histogram, NaN quantile before any sample, and the PromQL-style
+// within-bucket interpolation.
+func TestNewHistogramStandalone(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram([]float64{1, 2, 4})
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("empty histogram Quantile = %g, want NaN", v)
+	}
+	for _, v := range []float64{0.5, 1.5, 3} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	// rank 1.5 of 3 falls halfway into the (1,2] bucket.
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Fatalf("Quantile(0.5) = %g, want 1.5", got)
+	}
+
+	for _, bounds := range [][]float64{
+		{2, 1},
+		{1, 1},
+		{1, 2, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
